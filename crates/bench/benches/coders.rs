@@ -1,0 +1,77 @@
+//! Criterion benches for the three BVF coders: encoding throughput and
+//! roundtrip cost. These back the §6.3 claim that the coders are a
+//! negligible addition to the data path (one XNOR per bit).
+
+use bvf_core::{Coder, IsaCoder, NvCoder, VsCoder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn narrow_words(n: usize) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761) % 4096)
+        .collect()
+}
+
+fn bench_nv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coder_nv");
+    let data = narrow_words(4096);
+    g.throughput(Throughput::Bytes(4096 * 4));
+    g.bench_function("encode_4096_words", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            NvCoder.encode_words(black_box(&mut buf));
+            buf
+        })
+    });
+    g.bench_function("roundtrip_4096_words", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            NvCoder.encode_words(&mut buf);
+            NvCoder.decode_words(black_box(&mut buf));
+            buf
+        })
+    });
+    g.finish();
+}
+
+fn bench_vs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coder_vs");
+    let warp: [u32; 32] = core::array::from_fn(|i| 0x3f80_0000 + i as u32);
+    g.throughput(Throughput::Bytes(32 * 4));
+    g.bench_function("encode_warp", |b| {
+        let vs = VsCoder::for_registers();
+        b.iter(|| {
+            let mut lanes = warp;
+            vs.encode_warp(black_box(&mut lanes));
+            lanes
+        })
+    });
+    let line: Vec<u8> = (0..128).collect();
+    g.throughput(Throughput::Bytes(128));
+    g.bench_function("encode_cache_line", |b| {
+        let vs = VsCoder::for_cache_lines();
+        b.iter(|| {
+            let mut bytes = line.clone();
+            vs.encode_line_bytes(black_box(&mut bytes));
+            bytes
+        })
+    });
+    g.finish();
+}
+
+fn bench_isa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coder_isa");
+    let instrs: Vec<u64> = (0..2048u64).map(|i| i << 13 | 0x0201).collect();
+    let coder = IsaCoder::new(0x4818_0000_0007_0201);
+    g.throughput(Throughput::Bytes(2048 * 8));
+    g.bench_function("encode_2048_instrs", |b| {
+        b.iter(|| {
+            let mut buf = instrs.clone();
+            coder.encode_stream(black_box(&mut buf));
+            buf
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_nv, bench_vs, bench_isa);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! One Criterion bench group per paper exhibit: each bench regenerates its
+//! table/figure end to end and prints the series once, so `cargo bench`
+//! both times the pipeline and reproduces the paper's numbers.
+//!
+//! Shared campaigns are computed once (a reduced app set on a 4-SM GPU to
+//! keep the bench loop affordable); the full-suite numbers come from
+//! `cargo run --release -p bvf-sim --bin reproduce`.
+
+use std::sync::OnceLock;
+
+use bvf_circuit::ProcessNode;
+use bvf_gpu::{GpuConfig, SchedulerKind};
+use bvf_isa::Architecture;
+use bvf_sim::figures::{circuit, energy, overhead, profile, sensitivity};
+use bvf_sim::Campaign;
+use bvf_workloads::Application;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const BENCH_APPS: [&str; 10] = [
+    "ATA", "BFS", "VAD", "OCE", "RED", "IMD", "HST", "BLA", "SGE", "NQU",
+];
+
+fn bench_config() -> GpuConfig {
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 4;
+    cfg
+}
+
+fn bench_apps() -> Vec<Application> {
+    BENCH_APPS
+        .iter()
+        .map(|c| Application::by_code(c).expect("bench app"))
+        .collect()
+}
+
+fn main_campaign() -> &'static Campaign {
+    static C: OnceLock<Campaign> = OnceLock::new();
+    C.get_or_init(|| Campaign::run(bench_config(), &bench_apps()))
+}
+
+fn sched_campaign(kind: SchedulerKind) -> Campaign {
+    let mut cfg = bench_config();
+    cfg.scheduler = kind;
+    Campaign::run(cfg, &bench_apps())
+}
+
+fn print_once(table: &bvf_sim::Table) {
+    static PRINTED: OnceLock<std::sync::Mutex<std::collections::BTreeSet<String>>> =
+        OnceLock::new();
+    let set = PRINTED.get_or_init(Default::default);
+    if set.lock().expect("poisoned").insert(table.id.clone()) {
+        println!("\n{table}");
+    }
+}
+
+fn fig05_06(c: &mut Criterion) {
+    c.bench_function("fig05_access_energy_28nm", |b| {
+        b.iter(|| circuit::fig05_06(ProcessNode::N28))
+    });
+    c.bench_function("fig06_access_energy_40nm", |b| {
+        b.iter(|| circuit::fig05_06(ProcessNode::N40))
+    });
+    print_once(&circuit::fig05_06(ProcessNode::N28));
+    print_once(&circuit::fig05_06(ProcessNode::N40));
+    print_once(&circuit::table_6t_stability());
+}
+
+fn profiling(c: &mut Criterion) {
+    let campaign = main_campaign();
+    c.bench_function("fig08_narrow_value_profile", |b| {
+        b.iter(|| profile::fig08(campaign))
+    });
+    c.bench_function("fig09_zero_one_ratio", |b| {
+        b.iter(|| profile::fig09(campaign))
+    });
+    c.bench_function("fig11_lane_hamming", |b| {
+        b.iter(|| profile::fig11(campaign))
+    });
+    c.bench_function("fig12_pivot_vs_optimal", |b| {
+        b.iter(|| profile::fig12(campaign))
+    });
+    print_once(&profile::fig08(campaign));
+    print_once(&profile::fig09(campaign));
+    print_once(&profile::fig11(campaign));
+    print_once(&profile::fig12(campaign));
+}
+
+fn isa_exhibits(c: &mut Criterion) {
+    let apps = bench_apps();
+    c.bench_function("fig14_isa_bit_position", |b| {
+        b.iter(|| profile::fig14(&apps, Architecture::Pascal))
+    });
+    c.bench_function("table2_isa_masks", |b| b.iter(|| profile::table2(&apps)));
+    print_once(&profile::fig14(&Application::all(), Architecture::Pascal));
+    print_once(&profile::table2(&Application::all()));
+}
+
+fn component_energy(c: &mut Criterion) {
+    let campaign = main_campaign();
+    c.bench_function("fig16_component_28nm", |b| {
+        b.iter(|| energy::fig16_17(campaign, ProcessNode::N28))
+    });
+    c.bench_function("fig17_component_40nm", |b| {
+        b.iter(|| energy::fig16_17(campaign, ProcessNode::N40))
+    });
+    print_once(&energy::fig16_17(campaign, ProcessNode::N28));
+    print_once(&energy::fig16_17(campaign, ProcessNode::N40));
+}
+
+fn chip_energy(c: &mut Criterion) {
+    let campaign = main_campaign();
+    c.bench_function("fig18_chip_28nm", |b| {
+        b.iter(|| energy::fig18_19(campaign, ProcessNode::N28))
+    });
+    c.bench_function("fig19_chip_40nm", |b| {
+        b.iter(|| energy::fig18_19(campaign, ProcessNode::N40))
+    });
+    print_once(&energy::fig18_19(campaign, ProcessNode::N28));
+    print_once(&energy::fig18_19(campaign, ProcessNode::N40));
+}
+
+fn sensitivities(c: &mut Criterion) {
+    let campaign = main_campaign();
+    c.bench_function("fig20_dvfs", |b| b.iter(|| sensitivity::fig20(campaign)));
+    c.bench_function("fig23_cell_comparison", |b| {
+        b.iter(|| sensitivity::fig23(campaign))
+    });
+    print_once(&sensitivity::fig20(campaign));
+    print_once(&sensitivity::fig23(campaign));
+
+    // Scheduler and capacity figures re-simulate; bench the whole pipeline.
+    c.bench_function("fig21_schedulers", |b| {
+        b.iter(|| {
+            let lrr = sched_campaign(SchedulerKind::Lrr);
+            sensitivity::fig21(&[("GTO", campaign), ("LRR", &lrr)])
+        })
+    });
+    let lrr = sched_campaign(SchedulerKind::Lrr);
+    let two = sched_campaign(SchedulerKind::TwoLevel);
+    print_once(&sensitivity::fig21(&[
+        ("GTO", campaign),
+        ("LRR", &lrr),
+        ("Two-Level", &two),
+    ]));
+
+    c.bench_function("fig22_sram_capacity", |b| {
+        b.iter(|| {
+            let mut cfg = GpuConfig::tesla_k80();
+            cfg.sms = 4;
+            let k80 = Campaign::run(cfg, &bench_apps());
+            sensitivity::fig22(&[("GTX-480", campaign), ("Tesla-K80", &k80)])
+        })
+    });
+    let mut p100 = GpuConfig::tesla_p100();
+    p100.sms = 4;
+    let mut k80 = GpuConfig::tesla_k80();
+    k80.sms = 4;
+    let cp100 = Campaign::run(p100, &bench_apps());
+    let ck80 = Campaign::run(k80, &bench_apps());
+    print_once(&sensitivity::fig22(&[
+        ("GTX-480", campaign),
+        ("Tesla-P100", &cp100),
+        ("Tesla-K80", &ck80),
+    ]));
+}
+
+fn overhead_exhibit(c: &mut Criterion) {
+    c.bench_function("table_overhead", |b| {
+        b.iter(|| overhead::overhead_table(&GpuConfig::baseline()))
+    });
+    print_once(&overhead::overhead_table(&GpuConfig::baseline()));
+    print_once(&overhead::overhead_inventory(&GpuConfig::baseline()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig05_06, profiling, isa_exhibits, component_energy, chip_energy,
+              sensitivities, overhead_exhibit
+}
+criterion_main!(benches);

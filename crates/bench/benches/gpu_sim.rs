@@ -1,0 +1,49 @@
+//! Simulator-throughput benches: how fast the SIMT model executes each
+//! kernel-template family, and the cost of multi-view statistics.
+
+use bvf_gpu::{CodingView, Gpu, GpuConfig};
+use bvf_workloads::Application;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn small_config() -> GpuConfig {
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 2;
+    cfg
+}
+
+fn bench_templates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_sim_templates");
+    g.sample_size(10);
+    for code in ["VAD", "HOT", "BFS", "RED", "SGE", "IMD", "NQU", "HST"] {
+        let app = Application::by_code(code).expect("app");
+        g.bench_function(format!("{code}_{}", app.name), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(small_config(), vec![CodingView::baseline()]);
+                app.run(&mut gpu)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_sim_views");
+    g.sample_size(10);
+    let app = Application::by_code("VAD").expect("app");
+    g.bench_function("one_view", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(small_config(), vec![CodingView::baseline()]);
+            app.run(&mut gpu)
+        })
+    });
+    g.bench_function("five_views", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(small_config(), CodingView::standard_set(0));
+            app.run(&mut gpu)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_templates, bench_view_scaling);
+criterion_main!(benches);

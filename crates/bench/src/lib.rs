@@ -1,0 +1,13 @@
+//! Benchmark harness crate for the BVF reproduction.
+//!
+//! All content lives in the Criterion benches:
+//!
+//! * `benches/figures.rs` — one bench per paper table/figure; each bench
+//!   times the exhibit's regeneration and prints the series once.
+//! * `benches/coders.rs` — throughput of the NV/VS/ISA coders.
+//! * `benches/gpu_sim.rs` — simulator throughput per kernel-template family
+//!   and multi-view statistics scaling.
+//!
+//! Run with `cargo bench --workspace` (results land in `target/criterion`).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,176 @@
+//! Hamming weight and Hamming distance over words, slices, and byte streams.
+//!
+//! The BVF objective function is "maximize Hamming weight per data word"
+//! (§3.3 of the paper); the value-similarity coder is driven by Hamming
+//! distance between warp lanes (§4.2).
+
+use crate::word::BitWord;
+
+/// Hamming weight (count of 1-bits) of a `u32`.
+///
+/// ```
+/// assert_eq!(bvf_bits::weight_u32(0x0000_00ff), 8);
+/// ```
+#[inline]
+pub fn weight_u32(w: u32) -> u32 {
+    w.count_ones()
+}
+
+/// Hamming weight of a `u64`.
+///
+/// ```
+/// assert_eq!(bvf_bits::weight_u64(u64::MAX), 64);
+/// ```
+#[inline]
+pub fn weight_u64(w: u64) -> u32 {
+    w.count_ones()
+}
+
+/// Total Hamming weight of a byte slice.
+///
+/// ```
+/// assert_eq!(bvf_bits::weight_bytes(&[0xff, 0x0f, 0x00]), 12);
+/// ```
+pub fn weight_bytes(bytes: &[u8]) -> u64 {
+    // Process 8 bytes at a time; the tail is handled byte-wise.
+    let mut total = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        total += u64::from(w.count_ones());
+    }
+    for &b in chunks.remainder() {
+        total += u64::from(b.count_ones());
+    }
+    total
+}
+
+/// Hamming distance between two `u32` words.
+///
+/// ```
+/// assert_eq!(bvf_bits::distance_u32(0b1010, 0b0110), 2);
+/// ```
+#[inline]
+pub fn distance_u32(a: u32, b: u32) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Hamming distance between two `u64` words.
+#[inline]
+pub fn distance_u64(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Generic Hamming distance between two [`BitWord`]s.
+#[inline]
+pub fn distance<W: BitWord>(a: W, b: W) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Total Hamming distance between two equal-length word slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length — a distance between sequences of
+/// different lengths is not defined.
+pub fn distance_slice<W: BitWord>(a: &[W], b: &[W]) -> u64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "hamming distance requires equal-length sequences"
+    );
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// Total Hamming distance between two equal-length byte slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn distance_bytes(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "hamming distance requires equal-length sequences"
+    );
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// Normalized relative Hamming distance between two byte slices in `[0, 1]`.
+///
+/// Returns 0.0 for empty slices (identical by convention).
+pub fn relative_distance_bytes(a: &[u8], b: &[u8]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    distance_bytes(a, b) as f64 / (a.len() as f64 * 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weight_bytes_matches_wordwise() {
+        let data: Vec<u8> = (0..=255).collect();
+        let expected: u64 = data.iter().map(|b| u64::from(b.count_ones())).sum();
+        assert_eq!(weight_bytes(&data), expected);
+    }
+
+    #[test]
+    fn weight_bytes_handles_non_multiple_of_eight() {
+        assert_eq!(weight_bytes(&[0xff; 13]), 13 * 8);
+        assert_eq!(weight_bytes(&[]), 0);
+        assert_eq!(weight_bytes(&[0x01]), 1);
+    }
+
+    #[test]
+    fn distance_is_zero_iff_equal() {
+        assert_eq!(distance_u32(42, 42), 0);
+        assert_ne!(distance_u32(42, 43), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn distance_slice_rejects_length_mismatch() {
+        let _ = distance_slice(&[1u32, 2], &[1u32]);
+    }
+
+    #[test]
+    fn relative_distance_bounds() {
+        assert_eq!(relative_distance_bytes(&[0x00], &[0xff]), 1.0);
+        assert_eq!(relative_distance_bytes(&[0xab], &[0xab]), 0.0);
+        assert_eq!(relative_distance_bytes(&[], &[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_symmetric(a: u64, b: u64) {
+            prop_assert_eq!(distance_u64(a, b), distance_u64(b, a));
+        }
+
+        #[test]
+        fn distance_triangle_inequality(a: u32, b: u32, c: u32) {
+            prop_assert!(distance_u32(a, c) <= distance_u32(a, b) + distance_u32(b, c));
+        }
+
+        #[test]
+        fn weight_is_distance_to_zero(a: u32) {
+            prop_assert_eq!(weight_u32(a), distance_u32(a, 0));
+        }
+
+        #[test]
+        fn bytes_and_words_agree(words: Vec<u32>) {
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            let w: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+            prop_assert_eq!(weight_bytes(&bytes), w);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Toggle-rate accounting for on-chip interconnect channels.
+//!
+//! Dynamic energy on a parallel bus or NoC channel is proportional to the
+//! number of wires that switch between consecutive transfers (the activity
+//! factor α in P = αCV²f). [`ChannelToggles`] tracks one physical channel:
+//! it remembers the last flit transmitted and counts bit transitions against
+//! each new flit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hamming;
+
+/// Aggregated toggle statistics for one or more channels.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToggleStats {
+    /// Number of flits transferred (excluding the priming flit per channel).
+    pub transfers: u64,
+    /// Total wire transitions observed.
+    pub bit_toggles: u64,
+    /// Total wire-slots observed (`transfers * flit_bits`).
+    pub bit_slots: u64,
+}
+
+impl ToggleStats {
+    /// Fraction of wire-slots that toggled, in `[0, 1]`; 0.0 when empty.
+    pub fn toggle_rate(&self) -> f64 {
+        if self.bit_slots == 0 {
+            0.0
+        } else {
+            self.bit_toggles as f64 / self.bit_slots as f64
+        }
+    }
+}
+
+impl core::ops::Add for ToggleStats {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            transfers: self.transfers + rhs.transfers,
+            bit_toggles: self.bit_toggles + rhs.bit_toggles,
+            bit_slots: self.bit_slots + rhs.bit_slots,
+        }
+    }
+}
+
+impl core::ops::AddAssign for ToggleStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::iter::Sum for ToggleStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), |a, b| a + b)
+    }
+}
+
+/// Toggle counter for a single physical channel with a fixed flit size.
+///
+/// The first flit primes the wires and does not count as a transfer (the
+/// channel state before the first observed flit is unknown).
+///
+/// # Example
+///
+/// ```
+/// use bvf_bits::ChannelToggles;
+///
+/// let mut ch = ChannelToggles::new(4); // 4-byte flits
+/// ch.send(&[0x00, 0x00, 0x00, 0x00]);
+/// ch.send(&[0xff, 0x00, 0x00, 0x00]); // 8 wires toggle
+/// let s = ch.stats();
+/// assert_eq!(s.transfers, 1);
+/// assert_eq!(s.bit_toggles, 8);
+/// assert_eq!(s.bit_slots, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelToggles {
+    flit_bytes: usize,
+    last: Option<Vec<u8>>,
+    stats: ToggleStats,
+}
+
+impl ChannelToggles {
+    /// Create a counter for a channel carrying `flit_bytes`-byte flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flit_bytes` is zero.
+    pub fn new(flit_bytes: usize) -> Self {
+        assert!(flit_bytes > 0, "flit size must be non-zero");
+        Self {
+            flit_bytes,
+            last: None,
+            stats: ToggleStats::default(),
+        }
+    }
+
+    /// Flit size in bytes.
+    pub fn flit_bytes(&self) -> usize {
+        self.flit_bytes
+    }
+
+    /// Transmit one flit. Flits shorter than the channel width are
+    /// zero-padded (tail wires idle at 0), mirroring partially filled flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flit` is longer than the channel width.
+    pub fn send(&mut self, flit: &[u8]) {
+        assert!(
+            flit.len() <= self.flit_bytes,
+            "flit ({}B) exceeds channel width ({}B)",
+            flit.len(),
+            self.flit_bytes
+        );
+        let mut padded = vec![0u8; self.flit_bytes];
+        padded[..flit.len()].copy_from_slice(flit);
+        if let Some(prev) = &self.last {
+            self.stats.transfers += 1;
+            self.stats.bit_toggles += hamming::distance_bytes(prev, &padded);
+            self.stats.bit_slots += self.flit_bytes as u64 * 8;
+        }
+        self.last = Some(padded);
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> ToggleStats {
+        self.stats
+    }
+
+    /// Clear history and statistics while keeping the flit size.
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.stats = ToggleStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_flits_do_not_toggle() {
+        let mut ch = ChannelToggles::new(8);
+        for _ in 0..10 {
+            ch.send(&[0xaa; 8]);
+        }
+        assert_eq!(ch.stats().bit_toggles, 0);
+        assert_eq!(ch.stats().transfers, 9);
+    }
+
+    #[test]
+    fn alternating_flits_toggle_everything() {
+        let mut ch = ChannelToggles::new(2);
+        ch.send(&[0x00, 0x00]);
+        ch.send(&[0xff, 0xff]);
+        ch.send(&[0x00, 0x00]);
+        let s = ch.stats();
+        assert_eq!(s.bit_toggles, 32);
+        assert!((s.toggle_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_flits_are_zero_padded() {
+        let mut ch = ChannelToggles::new(4);
+        ch.send(&[0xff]); // wires: ff 00 00 00
+        ch.send(&[]); // wires: 00 00 00 00 → 8 toggles
+        assert_eq!(ch.stats().bit_toggles, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds channel width")]
+    fn oversized_flit_panics() {
+        let mut ch = ChannelToggles::new(2);
+        ch.send(&[0, 0, 0]);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut ch = ChannelToggles::new(1);
+        ch.send(&[0xff]);
+        ch.send(&[0x00]);
+        ch.reset();
+        assert_eq!(ch.stats(), ToggleStats::default());
+        ch.send(&[0xff]); // priming flit again — no transfer counted
+        assert_eq!(ch.stats().transfers, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn toggle_rate_in_unit_interval(flits: Vec<[u8; 4]>) {
+            let mut ch = ChannelToggles::new(4);
+            for f in &flits {
+                ch.send(f);
+            }
+            let r = ch.stats().toggle_rate();
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn transfers_is_sends_minus_one(flits: Vec<[u8; 2]>) {
+            prop_assume!(!flits.is_empty());
+            let mut ch = ChannelToggles::new(2);
+            for f in &flits {
+                ch.send(f);
+            }
+            prop_assert_eq!(ch.stats().transfers, flits.len() as u64 - 1);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The [`BitWord`] abstraction over fixed-width unsigned machine words.
+//!
+//! BVF coders and statistics operate uniformly over 32-bit data words and
+//! 64-bit instruction words (and, for cache lines, raw byte streams). The
+//! trait pins down exactly the operations the rest of the workspace needs so
+//! that algorithms such as XNOR encoding or Hamming profiling are written
+//! once.
+
+use core::fmt::{Binary, Debug, LowerHex};
+use core::hash::Hash;
+use core::ops::{BitAnd, BitOr, BitXor, Not, Shl, Shr};
+
+/// A fixed-width unsigned word usable as a unit of BVF coding and statistics.
+///
+/// Implemented for `u8`, `u16`, `u32`, `u64`, and `u128`.
+///
+/// # Example
+///
+/// ```
+/// use bvf_bits::BitWord;
+///
+/// fn ones<W: BitWord>(w: W) -> u32 { w.count_ones() }
+/// assert_eq!(ones(0b1011u8), 3);
+/// assert_eq!(ones(u64::MAX), 64);
+/// ```
+pub trait BitWord:
+    Copy
+    + Eq
+    + Ord
+    + Hash
+    + Debug
+    + Binary
+    + LowerHex
+    + Default
+    + Send
+    + Sync
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+    + Shl<u32, Output = Self>
+    + Shr<u32, Output = Self>
+    + 'static
+{
+    /// Number of bits in the word (e.g. 32 for `u32`).
+    const BITS: u32;
+    /// The all-zeros word.
+    const ZERO: Self;
+    /// The all-ones word.
+    const ONES: Self;
+    /// A word with only the most-significant (sign) bit set.
+    const MSB: Self;
+
+    /// Count of 1-bits (Hamming weight).
+    fn count_ones(self) -> u32;
+    /// Count of leading zero bits.
+    fn leading_zeros(self) -> u32;
+    /// Count of trailing zero bits.
+    fn trailing_zeros(self) -> u32;
+    /// Widen to `u128` for lossless accumulation.
+    fn to_u128(self) -> u128;
+    /// Truncating conversion from `u128`.
+    fn from_u128(v: u128) -> Self;
+
+    /// Count of 0-bits.
+    #[inline]
+    fn count_zeros(self) -> u32 {
+        Self::BITS - self.count_ones()
+    }
+
+    /// `true` if the most-significant bit (two's-complement sign) is set.
+    #[inline]
+    fn sign_bit(self) -> bool {
+        self & Self::MSB != Self::ZERO
+    }
+
+    /// XNOR: bitwise equivalence, `!(a ^ b)`.
+    ///
+    /// This is the single gate from which all three BVF coders are built: a
+    /// bit XNORed with a matching reference bit becomes 1.
+    #[inline]
+    fn xnor(self, other: Self) -> Self {
+        !(self ^ other)
+    }
+}
+
+macro_rules! impl_bit_word {
+    ($($t:ty),*) => {$(
+        impl BitWord for $t {
+            const BITS: u32 = <$t>::BITS;
+            const ZERO: Self = 0;
+            const ONES: Self = <$t>::MAX;
+            const MSB: Self = 1 << (<$t>::BITS - 1);
+
+            #[inline]
+            fn count_ones(self) -> u32 { <$t>::count_ones(self) }
+            #[inline]
+            fn leading_zeros(self) -> u32 { <$t>::leading_zeros(self) }
+            #[inline]
+            fn trailing_zeros(self) -> u32 { <$t>::trailing_zeros(self) }
+            #[inline]
+            fn to_u128(self) -> u128 { self as u128 }
+            #[inline]
+            fn from_u128(v: u128) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_bit_word!(u8, u16, u32, u64, u128);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(u32::MSB, 0x8000_0000);
+        assert_eq!(u64::MSB, 0x8000_0000_0000_0000);
+        assert_eq!(u8::ONES, 0xff);
+        assert_eq!(u16::ZERO.count_ones(), 0);
+    }
+
+    #[test]
+    fn xnor_is_equivalence() {
+        assert_eq!(0xffu8.xnor(0xff), 0xff);
+        assert_eq!(0x00u8.xnor(0x00), 0xff);
+        assert_eq!(0xf0u8.xnor(0x0f), 0x00);
+        assert_eq!(0b1010_1010u8.xnor(0b1010_1010), 0xff);
+    }
+
+    #[test]
+    fn xnor_is_involutive_with_fixed_key() {
+        // decode(encode(x)) == x because xnor(xnor(x, k), k) == x
+        for x in [0u32, 1, 0xdead_beef, u32::MAX] {
+            for k in [0u32, 0x8000_0000, 0x1234_5678, u32::MAX] {
+                assert_eq!(x.xnor(k).xnor(k), x);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_bit_matches_twos_complement() {
+        assert!(!(0x7fff_ffffu32).sign_bit());
+        assert!((0x8000_0000u32).sign_bit());
+        assert!(((-1i64) as u64).sign_bit());
+    }
+
+    #[test]
+    fn count_zeros_complements_ones() {
+        for w in [0u64, 1, u64::MAX, 0x0f0f_0f0f_0f0f_0f0f] {
+            assert_eq!(w.count_ones() + BitWord::count_zeros(w), 64);
+        }
+    }
+}

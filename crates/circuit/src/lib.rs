@@ -1,0 +1,54 @@
+//! Analytical circuit-level energy models for the BVF study.
+//!
+//! This crate is the substitute for the paper's Cadence Virtuoso / Spectre
+//! SPICE simulations of SRAM arrays on commercial 28nm and 40nm PDKs. It
+//! provides per-bit, value-dependent access and standby energies for the four
+//! memory cell designs the paper discusses:
+//!
+//! * [`CellKind::Sram6T`] — the conventional differential 6T cell. One
+//!   bitline of the precharged pair always discharges on access, so read and
+//!   write energies are *independent of the stored/written value*.
+//! * [`CellKind::ConvSram8T`] — the conventional 8T cell with a decoupled 2T
+//!   read port. Reading 1 leaves the read bitline charged (cheap); reading 0
+//!   discharges it (expensive). Writes behave like 6T.
+//! * [`CellKind::BvfSram8T`] — the paper's proposed cell: the write-bitline
+//!   precharge is changed so `WBL` precharges to `V_dd` and `~WBL` to ground,
+//!   speculating a write of 1. A hit (writing 1) moves almost no charge; a
+//!   miss (writing 0) swings both bitlines and costs ~2x a conventional
+//!   write. Reads are the 8T read. Standby leakage favors 1.
+//! * [`CellKind::Edram3T`] — the 3T PMOS gain-cell eDRAM of §7.2, which
+//!   favors 1 on read, write *and* refresh.
+//!
+//! All energies are expressed in femtojoules per bit and are calibrated so
+//! the *relative* shape matches the paper's Fig. 5/6 and §3.1 narrative (the
+//! absolute values are representative, not foundry data — see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use bvf_circuit::{AccessEnergy, CellKind, ProcessNode, Supply};
+//!
+//! let bvf = AccessEnergy::of(CellKind::BvfSram8T, ProcessNode::N28, Supply::NOMINAL, 32);
+//! assert!(bvf.read1 < bvf.read0);   // BVF read asymmetry
+//! assert!(bvf.write1 < bvf.write0); // BVF write asymmetry
+//!
+//! let sixt = AccessEnergy::of(CellKind::Sram6T, ProcessNode::N28, Supply::NOMINAL, 32);
+//! assert_eq!(sixt.read0, sixt.read1); // 6T is symmetric
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cell;
+pub mod dvfs;
+pub mod leakage;
+pub mod process;
+pub mod stability;
+
+pub use array::{ArrayGeometry, SramArray};
+pub use cell::{AccessEnergy, CellKind};
+pub use dvfs::PState;
+pub use leakage::LeakagePower;
+pub use process::{ProcessNode, Supply};
+pub use stability::{bvf6t_read0_flips, bvf6t_read_margin, BVF6T_MAX_SAFE_CELLS_28NM};

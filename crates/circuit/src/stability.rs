@@ -1,0 +1,104 @@
+//! Read-stability model for the 6T-BVF variant (§7.1).
+//!
+//! Applying the BVF precharge scheme to a 6T cell (precharging `~BL` to
+//! ground) works for writes, but the 6T read is *destructive*: the charged
+//! `BL` / discharged `~BL` pair can flip a cell storing 0 when the bitline
+//! parasitic capacitance is large. The paper's 28nm simulation finds that
+//! with more than **16 cells per bitline**, reading a 0 may flip the stored
+//! value. This module provides a simple charge-sharing margin model that
+//! reproduces that threshold.
+
+use crate::process::ProcessNode;
+
+/// Maximum cells per bitline for which the 6T-BVF read of a stored 0 is
+/// safe at 28nm, per the paper's circuit simulation.
+pub const BVF6T_MAX_SAFE_CELLS_28NM: u32 = 16;
+
+/// Static noise margin consumed per unit of normalized disturbance before a
+/// 0-storing cell flips. Calibrated so the 28nm threshold sits at 16 cells.
+const FLIP_THRESHOLD: f64 = 1.0;
+
+/// Normalized read-disturbance margin for a 6T-BVF cell storing 0, as a
+/// function of bitline loading. Values **≥ 1.0 mean the cell flips**.
+///
+/// The disturbance is charge-sharing between the precharged bitline pair and
+/// the internal node through the access transistor: proportional to the
+/// bitline capacitance (cells per bitline + fixed overhead) relative to the
+/// cell's restoring drive, which improves slightly at the larger node (more
+/// drive per cap at 40nm).
+pub fn bvf6t_read_margin(node: ProcessNode, cells_per_bitline: u32) -> f64 {
+    let c_bl =
+        node.bitline_cap_per_cell_ff() * f64::from(cells_per_bitline) + node.bitline_fixed_cap_ff();
+    // Restoring drive capability of the pull-down path, calibrated such
+    // that 16 cells is the last safe configuration at 28nm.
+    let drive_ff = match node {
+        ProcessNode::N28 => {
+            ProcessNode::N28.bitline_cap_per_cell_ff() * 17.0
+                + ProcessNode::N28.bitline_fixed_cap_ff()
+        }
+        // 40nm devices deliver more restoring current per unit of bitline
+        // capacitance; the safe column is a bit taller.
+        ProcessNode::N40 => {
+            ProcessNode::N40.bitline_cap_per_cell_ff() * 25.0
+                + ProcessNode::N40.bitline_fixed_cap_ff()
+        }
+    };
+    c_bl / drive_ff
+}
+
+/// Does reading a stored 0 flip the 6T-BVF cell at this bitline height?
+///
+/// # Example
+///
+/// ```
+/// use bvf_circuit::{bvf6t_read0_flips, ProcessNode};
+///
+/// assert!(!bvf6t_read0_flips(ProcessNode::N28, 16)); // safe
+/// assert!(bvf6t_read0_flips(ProcessNode::N28, 17));  // flips
+/// ```
+pub fn bvf6t_read0_flips(node: ProcessNode, cells_per_bitline: u32) -> bool {
+    bvf6t_read_margin(node, cells_per_bitline) >= FLIP_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_16_cells_at_28nm() {
+        assert!(!bvf6t_read0_flips(
+            ProcessNode::N28,
+            BVF6T_MAX_SAFE_CELLS_28NM
+        ));
+        assert!(bvf6t_read0_flips(
+            ProcessNode::N28,
+            BVF6T_MAX_SAFE_CELLS_28NM + 1
+        ));
+    }
+
+    #[test]
+    fn margin_grows_monotonically_with_column_height() {
+        for node in ProcessNode::ALL {
+            let mut prev = 0.0;
+            for cells in 1..=256 {
+                let m = bvf6t_read_margin(node, cells);
+                assert!(m > prev, "margin must grow with bitline load");
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
+    fn typical_cache_columns_are_unsafe() {
+        // Real arrays use 128-256 cells per bitline — far beyond the safe
+        // height; this is why the paper keeps BVF on 8T.
+        assert!(bvf6t_read0_flips(ProcessNode::N28, 128));
+        assert!(bvf6t_read0_flips(ProcessNode::N40, 256));
+    }
+
+    #[test]
+    fn short_columns_are_safe_on_both_nodes() {
+        assert!(!bvf6t_read0_flips(ProcessNode::N28, 8));
+        assert!(!bvf6t_read0_flips(ProcessNode::N40, 8));
+    }
+}

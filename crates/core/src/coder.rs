@@ -1,0 +1,106 @@
+//! The word-granular [`Coder`] trait shared by the NV and ISA coders.
+
+/// An invertible, stateless transformation over 32-bit data words.
+///
+/// Implementations must satisfy `decode(encode(w)) == w` for every word —
+/// the property the whole BVF design hangs on (data must reconstruct
+/// exactly when leaving a BVF space). All coders in this crate additionally
+/// satisfy the stronger involution property `encode == decode`, because they
+/// are XNORs against a reference derived from the word itself or a constant.
+///
+/// The value-similarity coder is *not* a `Coder`: it needs a whole warp or
+/// cache line as context (see [`crate::VsCoder`]).
+pub trait Coder {
+    /// Encode one 32-bit data word (maximize expected Hamming weight).
+    fn encode_u32(&self, w: u32) -> u32;
+
+    /// Decode one 32-bit data word (recover the original).
+    fn decode_u32(&self, w: u32) -> u32;
+
+    /// Encode a slice of words in place.
+    fn encode_words(&self, words: &mut [u32]) {
+        for w in words {
+            *w = self.encode_u32(*w);
+        }
+    }
+
+    /// Decode a slice of words in place.
+    fn decode_words(&self, words: &mut [u32]) {
+        for w in words {
+            *w = self.decode_u32(*w);
+        }
+    }
+
+    /// Encode a little-endian byte buffer in place, treating it as
+    /// consecutive 32-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a multiple of 4 — on-chip payloads are
+    /// word-aligned by construction, so a ragged buffer is a caller bug.
+    fn encode_bytes(&self, bytes: &mut [u8]) {
+        transform_bytes(bytes, |w| self.encode_u32(w));
+    }
+
+    /// Decode a little-endian byte buffer in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a multiple of 4.
+    fn decode_bytes(&self, bytes: &mut [u8]) {
+        transform_bytes(bytes, |w| self.decode_u32(w));
+    }
+}
+
+pub(crate) fn transform_bytes(bytes: &mut [u8], mut f: impl FnMut(u32) -> u32) {
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "payload length {} is not word-aligned",
+        bytes.len()
+    );
+    for chunk in bytes.chunks_exact_mut(4) {
+        let w = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+        chunk.copy_from_slice(&f(w).to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy coder (bitwise NOT) to exercise the provided methods.
+    struct NotCoder;
+    impl Coder for NotCoder {
+        fn encode_u32(&self, w: u32) -> u32 {
+            !w
+        }
+        fn decode_u32(&self, w: u32) -> u32 {
+            !w
+        }
+    }
+
+    #[test]
+    fn slice_helpers_roundtrip() {
+        let original: Vec<u32> = (0..257u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let mut words = original.clone();
+        NotCoder.encode_words(&mut words);
+        assert_ne!(words, original);
+        NotCoder.decode_words(&mut words);
+        assert_eq!(words, original);
+    }
+
+    #[test]
+    fn byte_helpers_roundtrip() {
+        let original: Vec<u8> = (0..64).collect();
+        let mut bytes = original.clone();
+        NotCoder.encode_bytes(&mut bytes);
+        NotCoder.decode_bytes(&mut bytes);
+        assert_eq!(bytes, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn ragged_buffer_rejected() {
+        NotCoder.encode_bytes(&mut [0u8; 7]);
+    }
+}

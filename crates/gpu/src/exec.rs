@@ -1,0 +1,841 @@
+//! Warp-level execution: structured-IR flattening and the SIMT interpreter.
+//!
+//! Kernels arrive as structured `bvf-isa` statements; at launch they are
+//! flattened into a linear [`FlatProgram`] with explicit control pseudo-ops
+//! and one 64-bit instruction word per op (the instruction-stream payload
+//! the ISA coder operates on). Each [`Warp`] then steps through the program
+//! with a SIMT control stack handling uniform loops and divergent branches
+//! with immediate post-dominator reconvergence.
+
+use bvf_isa::encode::{encode_instruction, pseudo};
+use bvf_isa::ir::{CmpOp, Cond, Instr, Kernel, Op, Operand, Special, Stmt};
+use bvf_isa::Architecture;
+
+/// A flattened program operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatOp {
+    /// Execute a real instruction.
+    Exec(Instr),
+    /// Uniform loop entry; `end_pc` is the matching [`FlatOp::LoopEnd`].
+    LoopStart {
+        /// Trip count.
+        n: u32,
+        /// Index of the matching `LoopEnd`.
+        end_pc: usize,
+    },
+    /// Uniform loop back-edge.
+    LoopEnd,
+    /// Divergent branch entry.
+    IfStart {
+        /// The per-lane condition.
+        cond: Cond,
+        /// First op of the else arm (index just past the `Else` marker), or
+        /// `end_pc` when there is no else arm.
+        else_body_pc: usize,
+        /// Index of the matching [`FlatOp::IfEnd`].
+        end_pc: usize,
+    },
+    /// End of the then arm; `end_pc` is the matching [`FlatOp::IfEnd`].
+    Else {
+        /// Index of the matching `IfEnd`.
+        end_pc: usize,
+    },
+    /// Reconvergence point of a divergent branch.
+    IfEnd,
+    /// Kernel exit.
+    Exit,
+}
+
+/// A flattened, assembled kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatProgram {
+    /// The linear op sequence; the last op is always [`FlatOp::Exit`].
+    pub ops: Vec<FlatOp>,
+    /// One 64-bit instruction word per op (the binary the ISA coder sees).
+    pub words: Vec<u64>,
+    /// Registers per thread required by the kernel.
+    pub regs_per_thread: u8,
+    /// Shared-memory words per CTA.
+    pub shared_words: u32,
+}
+
+impl FlatProgram {
+    /// Flatten and assemble `kernel` for `arch`.
+    pub fn compile(kernel: &Kernel, arch: Architecture) -> Self {
+        let mut ops = Vec::new();
+        flatten(&kernel.body, &mut ops);
+        ops.push(FlatOp::Exit);
+        let words = ops
+            .iter()
+            .map(|op| match op {
+                FlatOp::Exec(i) => encode_instruction(i, arch),
+                FlatOp::LoopStart { n, .. } => pseudo::loop_setup(arch, *n),
+                FlatOp::LoopEnd => pseudo::branch(arch, 0),
+                FlatOp::IfStart { cond, .. } => pseudo::setp(arch, cond),
+                FlatOp::Else { end_pc } => pseudo::branch(arch, *end_pc as u32),
+                FlatOp::IfEnd => pseudo::sync(arch),
+                FlatOp::Exit => pseudo::exit(arch),
+            })
+            .collect();
+        Self {
+            ops,
+            words,
+            regs_per_thread: kernel.regs_per_thread,
+            shared_words: kernel.shared_words,
+        }
+    }
+}
+
+fn flatten(stmts: &[Stmt], out: &mut Vec<FlatOp>) {
+    for s in stmts {
+        match s {
+            Stmt::I(i) => out.push(FlatOp::Exec(*i)),
+            Stmt::For { n, body } => {
+                let start = out.len();
+                out.push(FlatOp::LoopStart { n: *n, end_pc: 0 });
+                flatten(body, out);
+                let end = out.len();
+                out.push(FlatOp::LoopEnd);
+                if let FlatOp::LoopStart { end_pc, .. } = &mut out[start] {
+                    *end_pc = end;
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                let start = out.len();
+                out.push(FlatOp::IfStart {
+                    cond: *cond,
+                    else_body_pc: 0,
+                    end_pc: 0,
+                });
+                flatten(then, out);
+                let else_body_pc;
+                if els.is_empty() {
+                    else_body_pc = out.len(); // points at IfEnd
+                } else {
+                    let else_marker = out.len();
+                    out.push(FlatOp::Else { end_pc: 0 });
+                    flatten(els, out);
+                    else_body_pc = else_marker + 1;
+                    let end = out.len();
+                    if let FlatOp::Else { end_pc } = &mut out[else_marker] {
+                        *end_pc = end;
+                    }
+                }
+                let end = out.len();
+                out.push(FlatOp::IfEnd);
+                if let FlatOp::IfStart {
+                    else_body_pc: e,
+                    end_pc,
+                    ..
+                } = &mut out[start]
+                {
+                    *end_pc = end;
+                    *e = if els.is_empty() { end } else { else_body_pc };
+                }
+            }
+        }
+    }
+}
+
+/// SIMT control-stack frame.
+#[derive(Debug, Clone, PartialEq)]
+enum Frame {
+    Loop {
+        remaining: u32,
+        body_pc: usize,
+    },
+    If {
+        resume: u32,
+        else_mask: u32,
+        entered_else: bool,
+    },
+}
+
+/// What a single warp step produced (the SM reacts to memory/barrier/exit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// An ALU or control op completed.
+    Ok,
+    /// A memory operation was issued (the warp may be descheduled).
+    Memory,
+    /// The warp reached a CTA barrier and is waiting.
+    Barrier,
+    /// The warp finished.
+    Exited,
+}
+
+/// Environment callbacks the interpreter uses for everything outside pure
+/// lane arithmetic: register-file traffic, memory accesses, instruction
+/// fetch, and barriers. Implemented by the SM model (and by mocks in tests).
+pub trait WarpEnv {
+    /// A register was read as an operand: full 32-lane contents + mask.
+    fn on_reg_read(&mut self, reg_lanes: &[u32; 32], active: u32);
+    /// The distinct register operands of one instruction, before the reads
+    /// are issued — lets the SM model operand-collector bank conflicts.
+    /// Default: no-op.
+    fn on_operand_group(&mut self, regs: &[u8]) {
+        let _ = regs;
+    }
+    /// A register was written: full post-write contents + written mask, and
+    /// whether the write covered the VS pivot lane under divergence.
+    fn on_reg_write(&mut self, reg_lanes: &[u32; 32], active: u32, pivot_divergent: bool);
+    /// Instruction fetch of the word at `pc`.
+    fn on_ifetch(&mut self, pc: usize, word: u64);
+    /// Global/const/texture memory access. `indices` are per-lane word
+    /// indices into the buffer; for stores `data` carries lane values.
+    /// Loads return per-lane data.
+    fn global_access(
+        &mut self,
+        op: Op,
+        indices: &[u32; 32],
+        data: Option<&[u32; 32]>,
+        active: u32,
+    ) -> [u32; 32];
+    /// Shared-memory access (word addresses within the CTA's allocation).
+    fn shared_access(
+        &mut self,
+        op: Op,
+        indices: &[u32; 32],
+        data: Option<&[u32; 32]>,
+        active: u32,
+    ) -> [u32; 32];
+}
+
+/// The VS pivot lane used for divergence bookkeeping.
+const PIVOT_LANE: usize = bvf_core::PAPER_PIVOT_LANE;
+
+/// One 32-lane warp's execution state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warp {
+    /// Register file slice: `regs[r * 32 + lane]`.
+    regs: Vec<u32>,
+    pc: usize,
+    active: u32,
+    stack: Vec<Frame>,
+    done: bool,
+    /// CTA index of this warp.
+    pub cta_id: u32,
+    /// Warp index within the CTA.
+    pub warp_in_cta: u32,
+    /// Threads per CTA (for `NTidX`).
+    pub cta_threads: u32,
+}
+
+impl Warp {
+    /// Create a warp at the program start with all lanes active and
+    /// registers zeroed.
+    pub fn new(regs_per_thread: u8, cta_id: u32, warp_in_cta: u32, cta_threads: u32) -> Self {
+        Self {
+            regs: vec![0; usize::from(regs_per_thread) * 32],
+            pc: 0,
+            active: u32::MAX,
+            stack: Vec::new(),
+            done: false,
+            cta_id,
+            warp_in_cta,
+            cta_threads,
+        }
+    }
+
+    /// Has the warp exited?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Current 32-lane contents of register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of the kernel's register range.
+    pub fn reg_lanes(&self, r: u8) -> [u32; 32] {
+        let base = usize::from(r) * 32;
+        core::array::from_fn(|lane| self.regs[base + lane])
+    }
+
+    fn set_reg_lanes(&mut self, r: u8, values: &[u32; 32], mask: u32) {
+        let base = usize::from(r) * 32;
+        for (lane, &v) in values.iter().enumerate() {
+            if mask >> lane & 1 == 1 {
+                self.regs[base + lane] = v;
+            }
+        }
+    }
+
+    fn lane_value(&self, operand: Operand, lane: usize) -> u32 {
+        match operand {
+            Operand::Reg(r) => self.regs[usize::from(r) * 32 + lane],
+            Operand::Imm(v) => v,
+            Operand::Special(s) => {
+                let tid = self.warp_in_cta * 32 + lane as u32;
+                match s {
+                    Special::TidX => tid,
+                    Special::CtaIdX => self.cta_id,
+                    Special::NTidX => self.cta_threads,
+                    Special::LaneId => lane as u32,
+                    Special::WarpId => self.warp_in_cta,
+                    Special::GlobalTid => self.cta_id * self.cta_threads + tid,
+                }
+            }
+        }
+    }
+
+    fn operand_lanes(&self, operand: Operand) -> [u32; 32] {
+        core::array::from_fn(|lane| self.lane_value(operand, lane))
+    }
+
+    fn eval_cond(&self, c: &Cond) -> u32 {
+        let mut mask = 0u32;
+        for lane in 0..32 {
+            let a = self.lane_value(c.a, lane) as i32;
+            let b = self.lane_value(c.b, lane) as i32;
+            let t = match c.op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Ge => a >= b,
+            };
+            if t {
+                mask |= 1 << lane;
+            }
+        }
+        mask
+    }
+
+    /// Report each distinct register operand of `i` as a read event.
+    fn report_operand_reads(&self, i: &Instr, env: &mut impl WarpEnv) {
+        let mut seen: Vec<u8> = Vec::with_capacity(3);
+        for operand in [i.a, i.b, i.c] {
+            if let Operand::Reg(r) = operand {
+                if !seen.contains(&r) {
+                    seen.push(r);
+                }
+            }
+        }
+        env.on_operand_group(&seen);
+        for &r in &seen {
+            env.on_reg_read(&self.reg_lanes(r), self.active);
+        }
+    }
+
+    fn write_dst(&mut self, dst: u8, values: &[u32; 32], env: &mut impl WarpEnv) {
+        self.set_reg_lanes(dst, values, self.active);
+        let pivot_divergent = self.active != u32::MAX && (self.active >> PIVOT_LANE) & 1 == 1;
+        env.on_reg_write(&self.reg_lanes(dst), self.active, pivot_divergent);
+    }
+
+    /// Execute one op. Fetches the instruction word, then interprets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp has already exited.
+    pub fn step(&mut self, prog: &FlatProgram, env: &mut impl WarpEnv) -> StepResult {
+        assert!(!self.done, "stepping an exited warp");
+        let pc = self.pc;
+        env.on_ifetch(pc, prog.words[pc]);
+        match &prog.ops[pc] {
+            FlatOp::Exit => {
+                self.done = true;
+                StepResult::Exited
+            }
+            FlatOp::LoopStart { n, end_pc } => {
+                if *n == 0 {
+                    self.pc = end_pc + 1;
+                } else {
+                    self.stack.push(Frame::Loop {
+                        remaining: *n,
+                        body_pc: pc + 1,
+                    });
+                    self.pc += 1;
+                }
+                StepResult::Ok
+            }
+            FlatOp::LoopEnd => {
+                match self.stack.last_mut() {
+                    Some(Frame::Loop { remaining, body_pc }) => {
+                        *remaining -= 1;
+                        if *remaining > 0 {
+                            self.pc = *body_pc;
+                        } else {
+                            self.stack.pop();
+                            self.pc += 1;
+                        }
+                    }
+                    other => panic!("LoopEnd without Loop frame: {other:?}"),
+                }
+                StepResult::Ok
+            }
+            FlatOp::IfStart {
+                cond,
+                else_body_pc,
+                end_pc,
+            } => {
+                let taken = self.eval_cond(cond) & self.active;
+                let not_taken = self.active & !taken;
+                if taken != 0 {
+                    self.stack.push(Frame::If {
+                        resume: self.active,
+                        else_mask: not_taken,
+                        entered_else: false,
+                    });
+                    self.active = taken;
+                    self.pc += 1;
+                } else {
+                    self.stack.push(Frame::If {
+                        resume: self.active,
+                        else_mask: 0,
+                        entered_else: true,
+                    });
+                    self.active = not_taken;
+                    self.pc = if *else_body_pc == *end_pc {
+                        *end_pc
+                    } else {
+                        *else_body_pc
+                    };
+                }
+                StepResult::Ok
+            }
+            FlatOp::Else { end_pc } => {
+                match self.stack.last_mut() {
+                    Some(Frame::If {
+                        else_mask,
+                        entered_else,
+                        ..
+                    }) => {
+                        if !*entered_else && *else_mask != 0 {
+                            *entered_else = true;
+                            self.active = *else_mask;
+                            self.pc += 1;
+                        } else {
+                            self.pc = *end_pc;
+                        }
+                    }
+                    other => panic!("Else without If frame: {other:?}"),
+                }
+                StepResult::Ok
+            }
+            FlatOp::IfEnd => {
+                match self.stack.pop() {
+                    Some(Frame::If { resume, .. }) => {
+                        self.active = resume;
+                        self.pc += 1;
+                    }
+                    other => panic!("IfEnd without If frame: {other:?}"),
+                }
+                StepResult::Ok
+            }
+            FlatOp::Exec(i) => {
+                let i = *i;
+                self.pc += 1;
+                self.exec_instr(&i, env)
+            }
+        }
+    }
+
+    fn exec_instr(&mut self, i: &Instr, env: &mut impl WarpEnv) -> StepResult {
+        if i.op == Op::Bar {
+            return StepResult::Barrier;
+        }
+        self.report_operand_reads(i, env);
+        if i.op.is_memory() {
+            let indices = self.index_lanes(i);
+            let active = self.active;
+            if i.op.is_store() {
+                let data = self.operand_lanes(i.c);
+                if matches!(i.op, Op::StShared) {
+                    env.shared_access(i.op, &indices, Some(&data), active);
+                } else {
+                    env.global_access(i.op, &indices, Some(&data), active);
+                }
+            } else {
+                let loaded = if matches!(i.op, Op::LdShared) {
+                    env.shared_access(i.op, &indices, None, active)
+                } else {
+                    env.global_access(i.op, &indices, None, active)
+                };
+                self.write_dst(i.dst, &loaded, env);
+            }
+            return StepResult::Memory;
+        }
+        // Pure ALU.
+        let a = self.operand_lanes(i.a);
+        let b = self.operand_lanes(i.b);
+        let c = self.operand_lanes(i.c);
+        let out: [u32; 32] = core::array::from_fn(|l| alu(i.op, a[l], b[l], c[l]));
+        self.write_dst(i.dst, &out, env);
+        StepResult::Ok
+    }
+
+    fn index_lanes(&self, i: &Instr) -> [u32; 32] {
+        let base = self.operand_lanes(i.a);
+        let off = match i.b {
+            Operand::Imm(v) => v,
+            _ => 0,
+        };
+        core::array::from_fn(|l| base[l].wrapping_add(off))
+    }
+}
+
+fn alu(op: Op, a: u32, b: u32, c: u32) -> u32 {
+    let (fa, fb, fc) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
+    match op {
+        Op::Mov => a,
+        Op::IAdd => a.wrapping_add(b),
+        Op::ISub => a.wrapping_sub(b),
+        Op::IMul => a.wrapping_mul(b),
+        Op::IMad => a.wrapping_mul(b).wrapping_add(c),
+        Op::IMin => (a as i32).min(b as i32) as u32,
+        Op::IMax => (a as i32).max(b as i32) as u32,
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Shl => a << (b & 31),
+        Op::Shr => a >> (b & 31),
+        Op::Clz => a.leading_zeros(),
+        Op::FAdd => (fa + fb).to_bits(),
+        Op::FMul => (fa * fb).to_bits(),
+        Op::FFma => fa.mul_add(fb, fc).to_bits(),
+        Op::FMin => fa.min(fb).to_bits(),
+        Op::FMax => fa.max(fb).to_bits(),
+        Op::I2F => (a as i32 as f32).to_bits(),
+        Op::F2I => (f32::from_bits(a) as i32) as u32,
+        _ => unreachable!("memory/barrier ops handled by the caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvf_isa::ir::BufferId;
+
+    /// Mock environment: global memory is the identity function of the
+    /// index, shared memory is a flat array; counts events.
+    struct MockEnv {
+        shared: Vec<u32>,
+        reg_reads: u64,
+        reg_writes: u64,
+        ifetches: u64,
+        global_loads: u64,
+        global_stores: u64,
+        pivot_divergent_writes: u64,
+        stored: Vec<(u32, u32)>,
+    }
+
+    impl MockEnv {
+        fn new() -> Self {
+            Self {
+                shared: vec![0; 1024],
+                reg_reads: 0,
+                reg_writes: 0,
+                ifetches: 0,
+                global_loads: 0,
+                global_stores: 0,
+                pivot_divergent_writes: 0,
+                stored: Vec::new(),
+            }
+        }
+    }
+
+    impl WarpEnv for MockEnv {
+        fn on_reg_read(&mut self, _: &[u32; 32], _: u32) {
+            self.reg_reads += 1;
+        }
+        fn on_reg_write(&mut self, _: &[u32; 32], _: u32, pivot_divergent: bool) {
+            self.reg_writes += 1;
+            if pivot_divergent {
+                self.pivot_divergent_writes += 1;
+            }
+        }
+        fn on_ifetch(&mut self, _: usize, _: u64) {
+            self.ifetches += 1;
+        }
+        fn global_access(
+            &mut self,
+            op: Op,
+            indices: &[u32; 32],
+            data: Option<&[u32; 32]>,
+            active: u32,
+        ) -> [u32; 32] {
+            if let Some(d) = data {
+                self.global_stores += 1;
+                for l in 0..32 {
+                    if active >> l & 1 == 1 {
+                        self.stored.push((indices[l], d[l]));
+                    }
+                }
+                [0; 32]
+            } else {
+                self.global_loads += 1;
+                let _ = op;
+                core::array::from_fn(|l| indices[l].wrapping_mul(3))
+            }
+        }
+        fn shared_access(
+            &mut self,
+            _: Op,
+            indices: &[u32; 32],
+            data: Option<&[u32; 32]>,
+            active: u32,
+        ) -> [u32; 32] {
+            if let Some(d) = data {
+                for l in 0..32 {
+                    if active >> l & 1 == 1 {
+                        self.shared[indices[l] as usize % 1024] = d[l];
+                    }
+                }
+                [0; 32]
+            } else {
+                core::array::from_fn(|l| self.shared[indices[l] as usize % 1024])
+            }
+        }
+    }
+
+    fn run(kernel: &Kernel) -> (Warp, MockEnv) {
+        let prog = FlatProgram::compile(kernel, Architecture::Pascal);
+        let mut warp = Warp::new(kernel.regs_per_thread, 0, 0, 32);
+        let mut env = MockEnv::new();
+        let mut steps = 0;
+        while !warp.is_done() {
+            warp.step(&prog, &mut env);
+            steps += 1;
+            assert!(steps < 100_000, "kernel did not terminate");
+        }
+        (warp, env)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut k = Kernel::new("t", 4);
+        k.body
+            .push(Stmt::op3(Op::Mov, 0, Operand::Imm(10), Operand::Imm(0)));
+        k.body
+            .push(Stmt::op3(Op::IAdd, 1, Operand::Reg(0), Operand::Imm(5)));
+        k.body.push(Stmt::op4(
+            Op::IMad,
+            2,
+            Operand::Reg(1),
+            Operand::Imm(2),
+            Operand::Reg(0),
+        ));
+        let (warp, env) = run(&k);
+        assert_eq!(warp.reg_lanes(1)[0], 15);
+        assert_eq!(warp.reg_lanes(2)[7], 40);
+        assert!(env.ifetches > 0);
+        assert_eq!(env.reg_writes, 3);
+    }
+
+    #[test]
+    fn specials_differ_per_lane() {
+        let mut k = Kernel::new("t", 2);
+        k.body.push(Stmt::op3(
+            Op::Mov,
+            0,
+            Operand::Special(Special::LaneId),
+            Operand::Imm(0),
+        ));
+        let (warp, _) = run(&k);
+        let lanes = warp.reg_lanes(0);
+        for (i, &v) in lanes.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn uniform_loop_iterates() {
+        let mut k = Kernel::new("t", 2);
+        k.body
+            .push(Stmt::op3(Op::Mov, 0, Operand::Imm(0), Operand::Imm(0)));
+        k.body.push(Stmt::For {
+            n: 10,
+            body: vec![Stmt::op3(Op::IAdd, 0, Operand::Reg(0), Operand::Imm(3))],
+        });
+        let (warp, _) = run(&k);
+        assert_eq!(warp.reg_lanes(0)[0], 30);
+    }
+
+    #[test]
+    fn zero_trip_loop_skips_body() {
+        let mut k = Kernel::new("t", 2);
+        k.body
+            .push(Stmt::op3(Op::Mov, 0, Operand::Imm(7), Operand::Imm(0)));
+        k.body.push(Stmt::For {
+            n: 0,
+            body: vec![Stmt::op3(Op::Mov, 0, Operand::Imm(0), Operand::Imm(0))],
+        });
+        let (warp, _) = run(&k);
+        assert_eq!(warp.reg_lanes(0)[0], 7);
+    }
+
+    #[test]
+    fn divergent_branch_executes_both_arms() {
+        // r1 = lane < 8 ? 100 : 200
+        let mut k = Kernel::new("t", 2);
+        k.body.push(Stmt::If {
+            cond: Cond {
+                a: Operand::Special(Special::LaneId),
+                op: CmpOp::Lt,
+                b: Operand::Imm(8),
+            },
+            then: vec![Stmt::op3(Op::Mov, 1, Operand::Imm(100), Operand::Imm(0))],
+            els: vec![Stmt::op3(Op::Mov, 1, Operand::Imm(200), Operand::Imm(0))],
+        });
+        let (warp, env) = run(&k);
+        let lanes = warp.reg_lanes(1);
+        for (i, &v) in lanes.iter().enumerate() {
+            assert_eq!(v, if i < 8 { 100 } else { 200 }, "lane {i}");
+        }
+        // Both arm writes were partial-warp; the else arm (lanes 8..32)
+        // covers the pivot lane 21 → one pivot-divergent write.
+        assert_eq!(env.pivot_divergent_writes, 1);
+    }
+
+    #[test]
+    fn branch_without_else_reconverges() {
+        let mut k = Kernel::new("t", 2);
+        k.body
+            .push(Stmt::op3(Op::Mov, 1, Operand::Imm(5), Operand::Imm(0)));
+        k.body.push(Stmt::If {
+            cond: Cond {
+                a: Operand::Special(Special::LaneId),
+                op: CmpOp::Eq,
+                b: Operand::Imm(0),
+            },
+            then: vec![Stmt::op3(Op::Mov, 1, Operand::Imm(9), Operand::Imm(0))],
+            els: vec![],
+        });
+        // After reconvergence every lane writes again — full warp.
+        k.body
+            .push(Stmt::op3(Op::IAdd, 0, Operand::Reg(1), Operand::Imm(1)));
+        let (warp, _) = run(&k);
+        assert_eq!(warp.reg_lanes(0)[0], 10);
+        assert_eq!(warp.reg_lanes(0)[1], 6);
+    }
+
+    #[test]
+    fn all_lanes_take_same_path() {
+        let mut k = Kernel::new("t", 2);
+        k.body.push(Stmt::If {
+            cond: Cond {
+                a: Operand::Imm(1),
+                op: CmpOp::Eq,
+                b: Operand::Imm(1),
+            },
+            then: vec![Stmt::op3(Op::Mov, 0, Operand::Imm(1), Operand::Imm(0))],
+            els: vec![Stmt::op3(Op::Mov, 0, Operand::Imm(2), Operand::Imm(0))],
+        });
+        let (warp, _) = run(&k);
+        assert!(warp.reg_lanes(0).iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        // for i in 0..3 { if lane < 16 { r0 += 1 } else { r0 += 10 } }
+        let mut k = Kernel::new("t", 2);
+        k.body
+            .push(Stmt::op3(Op::Mov, 0, Operand::Imm(0), Operand::Imm(0)));
+        k.body.push(Stmt::For {
+            n: 3,
+            body: vec![Stmt::If {
+                cond: Cond {
+                    a: Operand::Special(Special::LaneId),
+                    op: CmpOp::Lt,
+                    b: Operand::Imm(16),
+                },
+                then: vec![Stmt::op3(Op::IAdd, 0, Operand::Reg(0), Operand::Imm(1))],
+                els: vec![Stmt::op3(Op::IAdd, 0, Operand::Reg(0), Operand::Imm(10))],
+            }],
+        });
+        let (warp, _) = run(&k);
+        assert_eq!(warp.reg_lanes(0)[0], 3);
+        assert_eq!(warp.reg_lanes(0)[31], 30);
+    }
+
+    #[test]
+    fn global_load_store_flow() {
+        let mut k = Kernel::new("t", 3);
+        k.body.push(Stmt::op3(
+            Op::Mov,
+            0,
+            Operand::Special(Special::LaneId),
+            Operand::Imm(0),
+        ));
+        k.body.push(Stmt::op3(
+            Op::LdGlobal(BufferId(0)),
+            1,
+            Operand::Reg(0),
+            Operand::Imm(4),
+        ));
+        k.body.push(Stmt::op4(
+            Op::StGlobal(BufferId(1)),
+            0,
+            Operand::Reg(0),
+            Operand::Imm(0),
+            Operand::Reg(1),
+        ));
+        let (warp, env) = run(&k);
+        // Mock global returns index*3; index = lane + 4.
+        assert_eq!(warp.reg_lanes(1)[2], 18);
+        assert_eq!(env.global_loads, 1);
+        assert_eq!(env.global_stores, 1);
+        assert_eq!(env.stored.len(), 32);
+        assert_eq!(env.stored[5], (5, 27));
+    }
+
+    #[test]
+    fn shared_memory_roundtrip() {
+        let mut k = Kernel::new("t", 3);
+        k.body.push(Stmt::op3(
+            Op::Mov,
+            0,
+            Operand::Special(Special::LaneId),
+            Operand::Imm(0),
+        ));
+        k.body.push(Stmt::op4(
+            Op::StShared,
+            0,
+            Operand::Reg(0),
+            Operand::Imm(0),
+            Operand::Reg(0),
+        ));
+        k.body
+            .push(Stmt::op3(Op::LdShared, 1, Operand::Reg(0), Operand::Imm(0)));
+        let (warp, _) = run(&k);
+        assert_eq!(warp.reg_lanes(1)[9], 9);
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let mut k = Kernel::new("t", 3);
+        k.body.push(Stmt::op3(
+            Op::Mov,
+            0,
+            Operand::imm_f32(2.0),
+            Operand::Imm(0),
+        ));
+        k.body.push(Stmt::op4(
+            Op::FFma,
+            1,
+            Operand::Reg(0),
+            Operand::imm_f32(3.0),
+            Operand::imm_f32(1.0),
+        ));
+        let (warp, _) = run(&k);
+        assert_eq!(f32::from_bits(warp.reg_lanes(1)[0]), 7.0);
+    }
+
+    #[test]
+    fn flat_program_word_count_matches_ops() {
+        let mut k = Kernel::new("t", 2);
+        k.body.push(Stmt::For {
+            n: 2,
+            body: vec![Stmt::op3(Op::IAdd, 0, Operand::Reg(0), Operand::Imm(1))],
+        });
+        let p = FlatProgram::compile(&k, Architecture::Pascal);
+        assert_eq!(p.ops.len(), p.words.len());
+        assert!(matches!(p.ops.last(), Some(FlatOp::Exit)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Global, constant and texture memory backing stores.
+//!
+//! The simulator is functional: data always lives in [`GlobalMemory`] and
+//! caches only track presence (for hit/miss behavior) and statistics. Each
+//! named buffer occupies a disjoint region of a flat byte-address space so
+//! cache indexing and L2 bank hashing see realistic addresses.
+
+use std::collections::BTreeMap;
+
+use bvf_isa::ir::BufferId;
+use serde::{Deserialize, Serialize};
+
+/// Buffer base addresses are aligned to this boundary (1 MiB) so distinct
+/// buffers never share a cache line.
+const BUFFER_ALIGN: u64 = 1 << 20;
+
+/// The flat global-memory model: a set of word-addressed named buffers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalMemory {
+    buffers: BTreeMap<BufferId, Buffer>,
+    next_base: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Buffer {
+    base: u64,
+    words: Vec<u32>,
+}
+
+impl GlobalMemory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self {
+            buffers: BTreeMap::new(),
+            next_base: BUFFER_ALIGN, // keep address 0 unmapped
+        }
+    }
+
+    /// Register a buffer with initial contents. Returns its base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already in use or the buffer is empty.
+    pub fn add_buffer(&mut self, id: BufferId, words: Vec<u32>) -> u64 {
+        assert!(!words.is_empty(), "buffer {id:?} must be non-empty");
+        assert!(
+            !self.buffers.contains_key(&id),
+            "buffer {id:?} already registered"
+        );
+        let base = self.next_base;
+        let bytes = words.len() as u64 * 4;
+        self.next_base += bytes.div_ceil(BUFFER_ALIGN).max(1) * BUFFER_ALIGN;
+        self.buffers.insert(id, Buffer { base, words });
+        base
+    }
+
+    /// The buffer's contents, if registered.
+    pub fn buffer(&self, id: BufferId) -> Option<&[u32]> {
+        self.buffers.get(&id).map(|b| b.words.as_slice())
+    }
+
+    /// Base byte address of a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not registered.
+    pub fn base_of(&self, id: BufferId) -> u64 {
+        self.expect(id).base
+    }
+
+    /// Number of words in a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not registered.
+    pub fn len_of(&self, id: BufferId) -> usize {
+        self.expect(id).words.len()
+    }
+
+    /// Byte address of word `idx` in buffer `id`, clamping the index into
+    /// range (out-of-range indices wrap, mimicking the defensive clamping
+    /// workload kernels perform).
+    pub fn addr_of(&self, id: BufferId, idx: u32) -> u64 {
+        let b = self.expect(id);
+        let n = b.words.len() as u64;
+        b.base + (u64::from(idx) % n) * 4
+    }
+
+    /// Load the word at `idx` (wrapping) from buffer `id`.
+    pub fn load(&self, id: BufferId, idx: u32) -> u32 {
+        let b = self.expect(id);
+        b.words[idx as usize % b.words.len()]
+    }
+
+    /// Store `value` at `idx` (wrapping) in buffer `id`.
+    pub fn store(&mut self, id: BufferId, idx: u32, value: u32) {
+        let b = self
+            .buffers
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("buffer {id:?} not registered"));
+        let n = b.words.len();
+        b.words[idx as usize % n] = value;
+    }
+
+    /// Read a whole cache line (`line_bytes` long) containing byte address
+    /// `addr`, zero-filling any bytes outside registered buffers.
+    pub fn read_line(&self, addr: u64, line_bytes: usize) -> Vec<u8> {
+        let line_base = addr - addr % line_bytes as u64;
+        let mut out = vec![0u8; line_bytes];
+        for (b, byte) in out.iter_mut().enumerate() {
+            let a = line_base + b as u64;
+            if let Some(v) = self.read_byte(a) {
+                *byte = v;
+            }
+        }
+        out
+    }
+
+    fn read_byte(&self, addr: u64) -> Option<u8> {
+        for b in self.buffers.values() {
+            let end = b.base + b.words.len() as u64 * 4;
+            if addr >= b.base && addr < end {
+                let off = (addr - b.base) as usize;
+                return Some(b.words[off / 4].to_le_bytes()[off % 4]);
+            }
+        }
+        None
+    }
+
+    fn expect(&self, id: BufferId) -> &Buffer {
+        self.buffers
+            .get(&id)
+            .unwrap_or_else(|| panic!("buffer {id:?} not registered"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_get_disjoint_lines() {
+        let mut m = GlobalMemory::new();
+        let a = m.add_buffer(BufferId(0), vec![1; 100]);
+        let b = m.add_buffer(BufferId(1), vec![2; 100]);
+        assert_ne!(a / 128, b / 128, "buffers share a cache line");
+        assert_eq!(m.base_of(BufferId(0)), a);
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_wrapping() {
+        let mut m = GlobalMemory::new();
+        m.add_buffer(BufferId(3), vec![0; 8]);
+        m.store(BufferId(3), 2, 42);
+        assert_eq!(m.load(BufferId(3), 2), 42);
+        // Index 10 wraps to 2.
+        assert_eq!(m.load(BufferId(3), 10), 42);
+        m.store(BufferId(3), 9, 7); // wraps to 1
+        assert_eq!(m.buffer(BufferId(3)).unwrap()[1], 7);
+    }
+
+    #[test]
+    fn read_line_reflects_stores() {
+        let mut m = GlobalMemory::new();
+        m.add_buffer(BufferId(0), (0..64).collect());
+        let addr = m.addr_of(BufferId(0), 5);
+        m.store(BufferId(0), 5, 0xdead_beef);
+        let line = m.read_line(addr, 128);
+        let off = (addr % 128) as usize;
+        let w = u32::from_le_bytes(line[off..off + 4].try_into().unwrap());
+        assert_eq!(w, 0xdead_beef);
+    }
+
+    #[test]
+    fn unmapped_addresses_read_zero() {
+        let m = GlobalMemory::new();
+        assert_eq!(m.read_line(0, 128), vec![0u8; 128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_id_rejected() {
+        let mut m = GlobalMemory::new();
+        m.add_buffer(BufferId(0), vec![0; 4]);
+        m.add_buffer(BufferId(0), vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn missing_buffer_panics() {
+        let m = GlobalMemory::new();
+        let _ = m.load(BufferId(9), 0);
+    }
+}

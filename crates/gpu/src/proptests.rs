@@ -1,0 +1,133 @@
+//! Cross-module property tests for the GPU substrate (included from
+//! `lib.rs` under `cfg(test)`).
+
+use proptest::prelude::*;
+
+use crate::cache::{Access, Cache, CacheConfig};
+use crate::config::SchedulerKind;
+use crate::dram::{DramChannel, DramConfig, DramRequest};
+use crate::sched::Scheduler;
+
+proptest! {
+    /// A cache access immediately repeated is always a hit, for any
+    /// geometry and address stream.
+    #[test]
+    fn cache_repeat_access_hits(
+        sets_log2 in 0u32..6,
+        assoc in 1u32..8,
+        addrs in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let line = 128u32;
+        let bytes = u64::from(line) * u64::from(assoc) * (1 << sets_log2);
+        let mut c = Cache::new(CacheConfig::new(bytes, line, assoc));
+        for a in addrs {
+            c.access_allocate(a);
+            prop_assert_eq!(c.access_allocate(a), Access::Hit);
+        }
+    }
+
+    /// Hits + misses always equals the number of accesses; the hit rate
+    /// stays in [0, 1].
+    #[test]
+    fn cache_counters_are_consistent(addrs in proptest::collection::vec(any::<u32>(), 0..200)) {
+        let mut c = Cache::new(CacheConfig::new(4096, 128, 2));
+        for a in &addrs {
+            c.access_allocate(u64::from(*a));
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
+    }
+
+    /// A working set no larger than the cache never misses after the cold
+    /// pass, regardless of access order (LRU has no pathological thrashing
+    /// within capacity when the set is fully associative).
+    #[test]
+    fn fully_associative_capacity_guarantee(
+        order in proptest::collection::vec(0usize..8, 1..100)
+    ) {
+        // 8 lines capacity, fully associative.
+        let mut c = Cache::new(CacheConfig::new(8 * 128, 128, 8));
+        for i in 0..8u64 {
+            c.access_allocate(i * 128);
+        }
+        for &i in &order {
+            prop_assert_eq!(c.access_allocate(i as u64 * 128), Access::Hit);
+        }
+    }
+
+    /// Every scheduler always returns a ready warp when one exists, and
+    /// never returns an unready one.
+    #[test]
+    fn schedulers_pick_only_ready_warps(
+        kind in prop_oneof![
+            Just(SchedulerKind::Gto),
+            Just(SchedulerKind::Lrr),
+            Just(SchedulerKind::TwoLevel)
+        ],
+        steps in proptest::collection::vec(any::<u32>(), 1..64),
+        n_warps in 1usize..24,
+    ) {
+        let mut s = Scheduler::new(kind);
+        for mask in steps {
+            let ready: Vec<bool> = (0..n_warps).map(|i| mask >> (i % 32) & 1 == 1).collect();
+            match s.pick(&ready) {
+                Some(w) => prop_assert!(ready[w], "{kind:?} picked unready warp {w}"),
+                None => prop_assert!(ready.iter().all(|&r| !r)),
+            }
+        }
+    }
+
+    /// No ready warp starves under LRR: within `n` consecutive picks over a
+    /// constant ready set, every ready warp is issued at least once.
+    #[test]
+    fn lrr_is_starvation_free(mask in 1u32..0xffff) {
+        let n = 16usize;
+        let ready: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+        let mut s = Scheduler::new(SchedulerKind::Lrr);
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            if let Some(w) = s.pick(&ready) {
+                seen[w] = true;
+            }
+        }
+        for (i, (&r, &got)) in ready.iter().zip(&seen).enumerate() {
+            prop_assert!(!r || got, "warp {i} ready but never issued");
+        }
+    }
+
+    /// DRAM: total busy cycles equals the sum of per-request latencies, and
+    /// every latency is one of the three legal values.
+    #[test]
+    fn dram_latencies_are_legal(addrs in proptest::collection::vec(any::<u32>(), 1..128)) {
+        let cfg = DramConfig::default();
+        let mut ch = DramChannel::new(cfg);
+        for a in &addrs {
+            ch.enqueue(DramRequest { addr: u64::from(*a), is_write: a % 2 == 0 });
+        }
+        let hit = cfg.t_cas + cfg.t_burst;
+        let activate = cfg.t_rcd + cfg.t_cas + cfg.t_burst;
+        let conflict = cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_burst;
+        let mut total = 0u64;
+        while let Some(lat) = ch.service_one() {
+            prop_assert!(
+                lat == hit || lat == activate || lat == conflict,
+                "illegal latency {lat}"
+            );
+            total += u64::from(lat);
+        }
+        prop_assert_eq!(total, ch.stats().busy_cycles);
+        prop_assert_eq!(ch.stats().requests, addrs.len() as u64);
+    }
+
+    /// FR-FCFS never loses or duplicates requests.
+    #[test]
+    fn dram_conserves_requests(addrs in proptest::collection::vec(any::<u16>(), 0..256)) {
+        let mut ch = DramChannel::new(DramConfig::default());
+        for a in &addrs {
+            ch.enqueue(DramRequest { addr: u64::from(*a) * 128, is_write: false });
+        }
+        ch.drain();
+        prop_assert_eq!(ch.pending(), 0);
+        prop_assert_eq!(ch.stats().requests, addrs.len() as u64);
+    }
+}

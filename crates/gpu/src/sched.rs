@@ -1,0 +1,230 @@
+//! Warp schedulers: greedy-then-oldest, loose round-robin, two-level.
+//!
+//! The scheduler decides which resident warp issues next, which reorders
+//! memory traffic and therefore changes the *sequence* of flits on each NoC
+//! channel — the mechanism behind the paper's scheduler-sensitivity study
+//! (Fig. 21). The simulator is functional, so "stall" means "the warp just
+//! issued a long-latency memory access".
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SchedulerKind;
+
+/// Size of the two-level scheduler's active set (per [72] in the paper).
+const TWO_LEVEL_ACTIVE_SET: usize = 8;
+
+/// A warp scheduler instance for one SM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    /// GTO: the warp currently holding the greedy slot.
+    greedy: Option<usize>,
+    /// LRR: next index to consider.
+    rr_next: usize,
+    /// Two-level: the active set (warp indices), round-robin position.
+    active_set: Vec<usize>,
+    active_next: usize,
+}
+
+impl Scheduler {
+    /// Create a scheduler of the given kind.
+    pub fn new(kind: SchedulerKind) -> Self {
+        Self {
+            kind,
+            greedy: None,
+            rr_next: 0,
+            active_set: Vec::new(),
+            active_next: 0,
+        }
+    }
+
+    /// The policy this scheduler implements.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Pick the next warp to issue from `ready` (indices of ready warps,
+    /// ascending = oldest first). Returns `None` when nothing is ready.
+    pub fn pick(&mut self, ready: &[bool]) -> Option<usize> {
+        if ready.iter().all(|r| !r) {
+            return None;
+        }
+        match self.kind {
+            SchedulerKind::Gto => {
+                if let Some(g) = self.greedy {
+                    if ready.get(g).copied().unwrap_or(false) {
+                        return Some(g);
+                    }
+                }
+                // Oldest ready warp takes the greedy slot.
+                let oldest = ready.iter().position(|&r| r)?;
+                self.greedy = Some(oldest);
+                Some(oldest)
+            }
+            SchedulerKind::Lrr => {
+                let n = ready.len();
+                for off in 0..n {
+                    let i = (self.rr_next + off) % n;
+                    if ready[i] {
+                        self.rr_next = (i + 1) % n;
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            SchedulerKind::TwoLevel => {
+                self.refill_active_set(ready);
+                let n = self.active_set.len();
+                for off in 0..n {
+                    let slot = (self.active_next + off) % n;
+                    let w = self.active_set[slot];
+                    if ready.get(w).copied().unwrap_or(false) {
+                        self.active_next = (slot + 1) % n;
+                        return Some(w);
+                    }
+                }
+                // Active set fully stalled: promote any ready warp.
+                let i = ready.iter().position(|&r| r)?;
+                self.promote(i);
+                Some(i)
+            }
+        }
+    }
+
+    /// Notify that warp `w` stalled on a memory access.
+    pub fn on_stall(&mut self, w: usize) {
+        match self.kind {
+            SchedulerKind::Gto => {
+                if self.greedy == Some(w) {
+                    self.greedy = None;
+                }
+            }
+            SchedulerKind::TwoLevel => {
+                self.active_set.retain(|&x| x != w);
+                if self.active_next >= self.active_set.len() {
+                    self.active_next = 0;
+                }
+            }
+            SchedulerKind::Lrr => {}
+        }
+    }
+
+    /// Notify that warp `w` finished execution.
+    pub fn on_finish(&mut self, w: usize) {
+        self.on_stall(w);
+    }
+
+    fn refill_active_set(&mut self, ready: &[bool]) {
+        if self.active_set.len() >= TWO_LEVEL_ACTIVE_SET {
+            return;
+        }
+        for (i, &r) in ready.iter().enumerate() {
+            if self.active_set.len() >= TWO_LEVEL_ACTIVE_SET {
+                break;
+            }
+            if r && !self.active_set.contains(&i) {
+                self.active_set.push(i);
+            }
+        }
+    }
+
+    fn promote(&mut self, w: usize) {
+        if !self.active_set.contains(&w) {
+            if self.active_set.len() >= TWO_LEVEL_ACTIVE_SET {
+                self.active_set.remove(0);
+            }
+            self.active_set.push(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn gto_sticks_to_one_warp_until_stall() {
+        let mut s = Scheduler::new(SchedulerKind::Gto);
+        let r = ready(4);
+        assert_eq!(s.pick(&r), Some(0));
+        assert_eq!(s.pick(&r), Some(0));
+        s.on_stall(0);
+        let mut r2 = r.clone();
+        r2[0] = false;
+        assert_eq!(s.pick(&r2), Some(1));
+        assert_eq!(s.pick(&r2), Some(1));
+    }
+
+    #[test]
+    fn gto_returns_to_oldest() {
+        let mut s = Scheduler::new(SchedulerKind::Gto);
+        let mut r = ready(3);
+        r[0] = false;
+        assert_eq!(s.pick(&r), Some(1));
+        s.on_stall(1);
+        r[0] = true;
+        r[1] = false;
+        assert_eq!(s.pick(&r), Some(0), "oldest ready warp wins");
+    }
+
+    #[test]
+    fn lrr_rotates() {
+        let mut s = Scheduler::new(SchedulerKind::Lrr);
+        let r = ready(3);
+        assert_eq!(s.pick(&r), Some(0));
+        assert_eq!(s.pick(&r), Some(1));
+        assert_eq!(s.pick(&r), Some(2));
+        assert_eq!(s.pick(&r), Some(0));
+    }
+
+    #[test]
+    fn lrr_skips_unready() {
+        let mut s = Scheduler::new(SchedulerKind::Lrr);
+        let mut r = ready(3);
+        r[1] = false;
+        assert_eq!(s.pick(&r), Some(0));
+        assert_eq!(s.pick(&r), Some(2));
+        assert_eq!(s.pick(&r), Some(0));
+    }
+
+    #[test]
+    fn two_level_stays_in_active_set() {
+        let mut s = Scheduler::new(SchedulerKind::TwoLevel);
+        let r = ready(16);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..32 {
+            seen.insert(s.pick(&r).unwrap());
+        }
+        assert_eq!(
+            seen.len(),
+            TWO_LEVEL_ACTIVE_SET,
+            "issues must rotate within the 8-warp active set"
+        );
+    }
+
+    #[test]
+    fn two_level_replaces_stalled_warps() {
+        let mut s = Scheduler::new(SchedulerKind::TwoLevel);
+        let mut r = ready(16);
+        let first = s.pick(&r).unwrap();
+        s.on_stall(first);
+        r[first] = false;
+        // The demoted warp must not be picked again while stalled.
+        for _ in 0..32 {
+            assert_ne!(s.pick(&r), Some(first));
+        }
+    }
+
+    #[test]
+    fn nothing_ready_returns_none() {
+        for kind in SchedulerKind::ALL {
+            let mut s = Scheduler::new(kind);
+            assert_eq!(s.pick(&[false, false]), None);
+            assert_eq!(s.pick(&[]), None);
+        }
+    }
+}

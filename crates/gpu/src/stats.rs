@@ -1,0 +1,567 @@
+//! Online trace statistics under multiple coding views.
+//!
+//! The paper dumps full access traces (tens of GB per application) and
+//! post-processes them with a parser that applies each coder. We instead
+//! fold every access into per-unit statistics *online*, once per
+//! [`CodingView`] — a named coder configuration. A single simulation run
+//! therefore yields the baseline and every coder combination the figures
+//! need, with bit-exact agreement to the offline method (the coders are
+//! pure functions of payload data).
+
+use std::collections::BTreeMap;
+
+use bvf_bits::{BitCounts, ChannelToggles, ToggleStats};
+use bvf_core::{Coder, IsaCoder, NvCoder, Unit, VsCoder};
+use serde::{Deserialize, Serialize};
+
+/// A named coder configuration applied to trace payloads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodingView {
+    /// View name (e.g. "baseline", "nv", "bvf").
+    pub name: String,
+    /// Apply the narrow-value coder to data payloads.
+    pub nv: bool,
+    /// Apply the value-similarity coder to data payloads.
+    pub vs: bool,
+    /// Apply the ISA-preference coder to instruction payloads.
+    pub isa: bool,
+    /// Pivot lane for the register-space VS coder.
+    pub vs_reg_pivot: usize,
+    /// Mask for the ISA coder (derive it from the target ISA's binaries).
+    pub isa_mask: u64,
+}
+
+impl CodingView {
+    /// A view with no coders — the measurement baseline.
+    pub fn baseline() -> Self {
+        Self {
+            name: "baseline".into(),
+            nv: false,
+            vs: false,
+            isa: false,
+            vs_reg_pivot: bvf_core::PAPER_PIVOT_LANE,
+            isa_mask: 0,
+        }
+    }
+
+    /// The full BVF configuration (all three coders).
+    pub fn bvf(isa_mask: u64) -> Self {
+        Self {
+            name: "bvf".into(),
+            nv: true,
+            vs: true,
+            isa: true,
+            vs_reg_pivot: bvf_core::PAPER_PIVOT_LANE,
+            isa_mask,
+        }
+    }
+
+    /// The five standard views of the evaluation: baseline, each coder in
+    /// isolation, and the combined design.
+    pub fn standard_set(isa_mask: u64) -> Vec<Self> {
+        vec![
+            Self::baseline(),
+            Self {
+                name: "nv".into(),
+                nv: true,
+                ..Self::baseline()
+            },
+            Self {
+                name: "vs".into(),
+                vs: true,
+                ..Self::baseline()
+            },
+            Self {
+                name: "isa".into(),
+                isa: true,
+                isa_mask,
+                ..Self::baseline()
+            },
+            Self::bvf(isa_mask),
+        ]
+    }
+
+    fn reg_vs(&self) -> VsCoder {
+        VsCoder::with_pivot(self.vs_reg_pivot)
+    }
+}
+
+/// Per-unit access statistics for one view.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Fill (miss-refill) accesses.
+    pub fills: u64,
+    /// Bits observed on reads.
+    pub read_bits: BitCounts,
+    /// Bits observed on writes.
+    pub write_bits: BitCounts,
+    /// Bits observed on fills.
+    pub fill_bits: BitCounts,
+}
+
+impl UnitStats {
+    /// All bits written into the unit (writes + fills) — the resident-data
+    /// sample used for the leakage occupancy estimate.
+    pub fn stored_bits(&self) -> BitCounts {
+        self.write_bits + self.fill_bits
+    }
+
+    /// Total access count.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes + self.fills
+    }
+}
+
+/// Statistics for one coding view across every unit plus the NoC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewStats {
+    /// The view these statistics belong to.
+    pub view: CodingView,
+    /// Per-unit counters.
+    pub units: BTreeMap<Unit, UnitStats>,
+    /// NoC toggle statistics aggregated over all channels.
+    pub noc: ToggleStats,
+    /// Dummy `mov` re-encodes injected for branch divergence (VS only).
+    pub dummy_movs: u64,
+    #[serde(skip)]
+    channels: BTreeMap<u32, ChannelToggles>,
+    #[serde(skip)]
+    flit_bytes: usize,
+}
+
+impl ViewStats {
+    fn new(view: CodingView, flit_bytes: usize) -> Self {
+        Self {
+            view,
+            units: BTreeMap::new(),
+            noc: ToggleStats::default(),
+            dummy_movs: 0,
+            channels: BTreeMap::new(),
+            flit_bytes,
+        }
+    }
+
+    /// Counters for a unit (zeroed if never touched).
+    pub fn unit(&self, unit: Unit) -> UnitStats {
+        self.units.get(&unit).copied().unwrap_or_default()
+    }
+
+    fn unit_mut(&mut self, unit: Unit) -> &mut UnitStats {
+        self.units.entry(unit).or_default()
+    }
+
+    fn finish_noc(&mut self) {
+        self.noc = self.channels.values().map(|c| c.stats()).sum();
+    }
+}
+
+/// What kind of access a payload event represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read from the unit.
+    Read,
+    /// A write into the unit.
+    Write,
+    /// A miss refill into the unit.
+    Fill,
+}
+
+/// The multi-view statistics collector.
+///
+/// The simulator reports *raw* payloads; the collector encodes them per
+/// view and updates each view's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsCollector {
+    views: Vec<ViewStats>,
+    log: Option<crate::trace::TraceLog>,
+}
+
+impl StatsCollector {
+    /// Build a collector over the given views with `flit_bytes`-wide NoC
+    /// channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views` is empty.
+    pub fn new(views: Vec<CodingView>, flit_bytes: usize) -> Self {
+        assert!(!views.is_empty(), "at least one coding view is required");
+        Self {
+            views: views
+                .into_iter()
+                .map(|v| ViewStats::new(v, flit_bytes))
+                .collect(),
+            log: None,
+        }
+    }
+
+    /// Additionally record every raw event into a [`crate::trace::TraceLog`]
+    /// (the paper's dump-and-parse pipeline; see [`crate::trace::replay`]).
+    pub fn with_trace_log(mut self) -> Self {
+        self.log = Some(crate::trace::TraceLog::new());
+        self
+    }
+
+    /// Take the recorded trace log, if logging was enabled.
+    pub fn take_log(&mut self) -> Option<crate::trace::TraceLog> {
+        self.log.take()
+    }
+
+    /// Record a register-file access: the warp's 32 lane values plus the
+    /// active mask. Only active lanes' bits are counted (the paper counts
+    /// only lanes that take the branch), but the full warp provides the VS
+    /// pivot context.
+    pub fn record_register(&mut self, kind: AccessKind, lanes: &[u32; 32], active: u32) {
+        if let Some(log) = &mut self.log {
+            log.events.push(crate::trace::TraceEvent::Reg {
+                kind: kind.into(),
+                lanes: lanes.to_vec(),
+                active,
+            });
+        }
+        for vs in &mut self.views {
+            let mut data = *lanes;
+            if vs.view.nv {
+                NvCoder.encode_words(&mut data);
+            }
+            if vs.view.vs {
+                vs.view.reg_vs().encode_warp(&mut data);
+            }
+            let mut bits = BitCounts::default();
+            for (i, w) in data.iter().enumerate() {
+                if active >> i & 1 == 1 {
+                    bits.record(*w);
+                }
+            }
+            bump(vs.unit_mut(Unit::Reg), kind, bits, 1);
+        }
+    }
+
+    /// Record a shared-memory access (active lanes' words; VS does not
+    /// cover SME, so only NV applies).
+    pub fn record_shared(&mut self, kind: AccessKind, lanes: &[u32; 32], active: u32) {
+        if let Some(log) = &mut self.log {
+            log.events.push(crate::trace::TraceEvent::Shared {
+                kind: kind.into(),
+                lanes: lanes.to_vec(),
+                active,
+            });
+        }
+        for vs in &mut self.views {
+            let mut bits = BitCounts::default();
+            for (i, w) in lanes.iter().enumerate() {
+                if active >> i & 1 == 1 {
+                    let e = if vs.view.nv {
+                        NvCoder.encode_u32(*w)
+                    } else {
+                        *w
+                    };
+                    bits.record(e);
+                }
+            }
+            bump(vs.unit_mut(Unit::Sme), kind, bits, 1);
+        }
+    }
+
+    /// Record a line-granular data access at an L1/L2 unit. `line` is the
+    /// raw line content.
+    pub fn record_line(&mut self, unit: Unit, kind: AccessKind, line: &[u8]) {
+        if let Some(log) = &mut self.log {
+            log.events.push(crate::trace::TraceEvent::Line {
+                unit,
+                kind: kind.into(),
+                data: line.to_vec(),
+            });
+        }
+        for vs in &mut self.views {
+            let mut data = line.to_vec();
+            encode_data_line(&vs.view, &mut data);
+            bump(vs.unit_mut(unit), kind, BitCounts::of_bytes(&data), 1);
+        }
+    }
+
+    /// Record an instruction access (IFB, L1I, or the instruction-stream
+    /// share of L2) of one 64-bit instruction word.
+    pub fn record_instruction(&mut self, unit: Unit, kind: AccessKind, instr: u64) {
+        if let Some(log) = &mut self.log {
+            log.events.push(crate::trace::TraceEvent::Instr {
+                unit,
+                kind: kind.into(),
+                word: instr,
+            });
+        }
+        for vs in &mut self.views {
+            let w = if vs.view.isa {
+                IsaCoder::new(vs.view.isa_mask).encode_instr(instr)
+            } else {
+                instr
+            };
+            bump(vs.unit_mut(unit), kind, BitCounts::of_word(w), 1);
+        }
+    }
+
+    /// Record one line-granular access of instruction words (an L1I fill or
+    /// the instruction-stream share of L2): a single access whose payload is
+    /// the given words.
+    pub fn record_instruction_line(&mut self, unit: Unit, kind: AccessKind, words: &[u64]) {
+        if let Some(log) = &mut self.log {
+            log.events.push(crate::trace::TraceEvent::InstrLine {
+                unit,
+                kind: kind.into(),
+                words: words.to_vec(),
+            });
+        }
+        for vs in &mut self.views {
+            let mut bits = BitCounts::default();
+            for &w in words {
+                let e = if vs.view.isa {
+                    IsaCoder::new(vs.view.isa_mask).encode_instr(w)
+                } else {
+                    w
+                };
+                bits.record(e);
+            }
+            bump(vs.unit_mut(unit), kind, bits, 1);
+        }
+    }
+
+    /// Record a NoC packet: a raw header (addresses/ids) plus a data
+    /// payload, sent on `channel`. Headers travel on the channel's sideband
+    /// control wires (a separate physical sub-channel, never coded);
+    /// payloads travel on the data wires and are coded per view
+    /// (instruction payloads with ISA, data payloads with NV+VS). Toggles
+    /// are counted on both sub-channels.
+    pub fn record_noc_packet(
+        &mut self,
+        channel: u32,
+        header: &[u8],
+        payload: &[u8],
+        instruction_payload: bool,
+    ) {
+        const SIDEBAND: u32 = 1 << 30;
+        if let Some(log) = &mut self.log {
+            log.events.push(crate::trace::TraceEvent::Noc {
+                channel,
+                header: header.to_vec(),
+                payload: payload.to_vec(),
+                instruction: instruction_payload,
+            });
+        }
+        for vs in &mut self.views {
+            let flit_bytes = vs.flit_bytes;
+            if !header.is_empty() {
+                let ch = vs
+                    .channels
+                    .entry(channel | SIDEBAND)
+                    .or_insert_with(|| ChannelToggles::new(crate::noc::HEADER_BYTES));
+                ch.send(header);
+            }
+            if payload.is_empty() {
+                continue;
+            }
+            let mut data = payload.to_vec();
+            if instruction_payload {
+                if vs.view.isa {
+                    let coder = IsaCoder::new(vs.view.isa_mask);
+                    for c in data.chunks_exact_mut(8) {
+                        let w = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+                        c.copy_from_slice(&coder.encode_instr(w).to_le_bytes());
+                    }
+                }
+            } else {
+                encode_data_line(&vs.view, &mut data);
+            }
+            let ch = vs
+                .channels
+                .entry(channel)
+                .or_insert_with(|| ChannelToggles::new(flit_bytes));
+            for flit in data.chunks(flit_bytes) {
+                ch.send(flit);
+            }
+            // Between packets the data wires return to their precharged-high
+            // idle state (all-ones), the standard bus convention — and the
+            // one the BVF space's "mostly 1s" toggle argument (§3.2) rests
+            // on. Identical consecutive idle flits cost nothing.
+            ch.send(&vec![0xff; flit_bytes]);
+        }
+    }
+
+    /// Record a dummy-mov re-encode event (VS branch-divergence handling);
+    /// only counted under views with VS enabled.
+    pub fn record_dummy_mov(&mut self) {
+        if let Some(log) = &mut self.log {
+            log.events.push(crate::trace::TraceEvent::DummyMov);
+        }
+        for vs in &mut self.views {
+            if vs.view.vs {
+                vs.dummy_movs += 1;
+            }
+        }
+    }
+
+    /// Finalize and return per-view statistics.
+    pub fn finish(mut self) -> Vec<ViewStats> {
+        for v in &mut self.views {
+            v.finish_noc();
+        }
+        self.views
+    }
+}
+
+fn encode_data_line(view: &CodingView, data: &mut [u8]) {
+    if !data.len().is_multiple_of(4) {
+        return; // headers-only payloads are not coded
+    }
+    if view.nv {
+        NvCoder.encode_bytes(data);
+    }
+    if view.vs {
+        VsCoder::for_cache_lines().encode_line_bytes(data);
+    }
+}
+
+fn bump(u: &mut UnitStats, kind: AccessKind, bits: BitCounts, n: u64) {
+    match kind {
+        AccessKind::Read => {
+            u.reads += n;
+            u.read_bits += bits;
+        }
+        AccessKind::Write => {
+            u.writes += n;
+            u.write_bits += bits;
+        }
+        AccessKind::Fill => {
+            u.fills += n;
+            u.fill_bits += bits;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector() -> StatsCollector {
+        StatsCollector::new(CodingView::standard_set(0x0123_4567_89ab_cdef), 32)
+    }
+
+    fn view<'a>(stats: &'a [ViewStats], name: &str) -> &'a ViewStats {
+        stats.iter().find(|v| v.view.name == name).expect("view")
+    }
+
+    #[test]
+    fn register_event_counts_only_active_lanes() {
+        let mut c = collector();
+        let lanes = [u32::MAX; 32];
+        c.record_register(AccessKind::Read, &lanes, 0x0000_000f); // 4 lanes
+        let stats = c.finish();
+        let base = view(&stats, "baseline").unit(Unit::Reg);
+        assert_eq!(base.reads, 1);
+        assert_eq!(base.read_bits.ones, 4 * 32);
+    }
+
+    #[test]
+    fn nv_view_flips_zero_words() {
+        let mut c = collector();
+        c.record_register(AccessKind::Write, &[0u32; 32], u32::MAX);
+        let stats = c.finish();
+        let base = view(&stats, "baseline").unit(Unit::Reg);
+        let nv = view(&stats, "nv").unit(Unit::Reg);
+        assert_eq!(base.write_bits.ones, 0);
+        assert_eq!(nv.write_bits.ones, 32 * 31); // sign bit stays 0
+    }
+
+    #[test]
+    fn vs_view_benefits_from_similar_lanes() {
+        let mut c = collector();
+        let lanes: [u32; 32] = core::array::from_fn(|i| 0x4000_0000 + i as u32);
+        c.record_register(AccessKind::Read, &lanes, u32::MAX);
+        let stats = c.finish();
+        let base = view(&stats, "baseline").unit(Unit::Reg);
+        let vs = view(&stats, "vs").unit(Unit::Reg);
+        assert!(vs.read_bits.ones > base.read_bits.ones);
+    }
+
+    #[test]
+    fn shared_memory_sees_nv_but_not_vs() {
+        let mut c = collector();
+        let lanes = [0u32; 32];
+        c.record_shared(AccessKind::Read, &lanes, u32::MAX);
+        let stats = c.finish();
+        let nv = view(&stats, "nv").unit(Unit::Sme);
+        let vs = view(&stats, "vs").unit(Unit::Sme);
+        let base = view(&stats, "baseline").unit(Unit::Sme);
+        assert!(nv.read_bits.ones > base.read_bits.ones);
+        assert_eq!(vs.read_bits, base.read_bits, "VS must not touch SME");
+    }
+
+    #[test]
+    fn instruction_events_only_respond_to_isa() {
+        let mut c = collector();
+        c.record_instruction(Unit::L1i, AccessKind::Read, 0);
+        let stats = c.finish();
+        let base = view(&stats, "baseline").unit(Unit::L1i);
+        let nv = view(&stats, "nv").unit(Unit::L1i);
+        let isa = view(&stats, "isa").unit(Unit::L1i);
+        assert_eq!(base.read_bits, nv.read_bits);
+        assert!(isa.read_bits.ones > base.read_bits.ones);
+    }
+
+    #[test]
+    fn noc_toggles_fall_under_vs_for_similar_lines() {
+        let mut c = collector();
+        // A stream of packets, each internally value-similar (lanes nearly
+        // identical within the line) but with unrelated contents across
+        // packets — the realistic case. Raw flits toggle heavily at every
+        // packet boundary; VS maps every line to near-all-ones, so the
+        // boundary toggles collapse to the raw pivot word.
+        let mut base = 0x9e37_79b9u32;
+        for _ in 0..8 {
+            base = base.wrapping_mul(0x0019_660d).wrapping_add(0x3c6e_f35f);
+            let payload: Vec<u8> = (0..32u32)
+                .flat_map(|i| (base ^ (i & 1)).to_le_bytes())
+                .collect();
+            c.record_noc_packet(0, &[], &payload, false);
+        }
+        let stats = c.finish();
+        let base = view(&stats, "baseline").noc;
+        let vs = view(&stats, "vs").noc;
+        assert!(base.bit_toggles > 0);
+        assert!(
+            vs.bit_toggles < base.bit_toggles,
+            "vs {} !< base {}",
+            vs.bit_toggles,
+            base.bit_toggles
+        );
+    }
+
+    #[test]
+    fn line_fill_counts_match_line_size() {
+        let mut c = collector();
+        c.record_line(Unit::L1d, AccessKind::Fill, &[0xff; 128]);
+        let stats = c.finish();
+        let u = view(&stats, "baseline").unit(Unit::L1d);
+        assert_eq!(u.fills, 1);
+        assert_eq!(u.fill_bits.total(), 128 * 8);
+        assert_eq!(u.stored_bits().ones, 128 * 8);
+    }
+
+    #[test]
+    fn dummy_movs_only_counted_under_vs() {
+        let mut c = collector();
+        c.record_dummy_mov();
+        let stats = c.finish();
+        assert_eq!(view(&stats, "baseline").dummy_movs, 0);
+        assert_eq!(view(&stats, "vs").dummy_movs, 1);
+        assert_eq!(view(&stats, "bvf").dummy_movs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coding view")]
+    fn empty_views_rejected() {
+        let _ = StatsCollector::new(vec![], 32);
+    }
+}

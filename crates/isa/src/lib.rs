@@ -1,0 +1,49 @@
+//! Synthetic SASS-like GPU ISA for the BVF study.
+//!
+//! The paper's ISA-preference coder (§4.3) is derived from a statistical
+//! analysis of 64-bit NVIDIA instruction binaries: each bit position of an
+//! instruction word has a strong 0/1 bias dictated by the encoding format, so
+//! XNORing every instruction with a per-architecture majority mask maximizes
+//! the Hamming weight of the instruction stream.
+//!
+//! We do not have NVIDIA's proprietary SASS, so this crate defines:
+//!
+//! * a register-level **kernel IR** ([`ir`]) rich enough to express the
+//!   paper's 58 workloads (ALU ops, global/shared/const/texture memory,
+//!   uniform loops, divergent branches, barriers) and to be executed by the
+//!   `bvf-gpu` SIMT simulator;
+//! * four **instruction encodings** ([`encode`]) mimicking the field-layout
+//!   churn across NVIDIA generations (Fermi/Kepler/Maxwell/Pascal-like),
+//!   each packing the same IR into differently-arranged 64-bit words;
+//! * **mask extraction** ([`mask`]) reproducing the paper's procedure
+//!   (per-bit-position majority vote over a corpus of assembled binaries),
+//!   plus the paper's published Table 2 masks as constants for comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use bvf_isa::{Architecture, assemble_kernel, derive_mask};
+//! use bvf_isa::ir::{Kernel, Instr, Op, Operand, Stmt};
+//!
+//! let mut k = Kernel::new("axpy", 8);
+//! k.body.push(Stmt::op3(Op::IMul, 2, Operand::Special(bvf_isa::ir::Special::CtaIdX),
+//!                        Operand::Special(bvf_isa::ir::Special::NTidX)));
+//! let words = assemble_kernel(&k, Architecture::Pascal);
+//! assert!(!words.is_empty());
+//! let mask = derive_mask(&words);
+//! let _ = mask; // per-position majority mask over the binary
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod decode;
+pub mod encode;
+pub mod ir;
+pub mod mask;
+
+pub use arch::Architecture;
+pub use decode::decode_instruction;
+pub use encode::{assemble_kernel, encode_instruction};
+pub use mask::{derive_mask, derive_mask_for, published_mask};

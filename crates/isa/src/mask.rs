@@ -1,0 +1,147 @@
+//! ISA-preference mask extraction (the paper's Fig. 14 / Table 2 procedure).
+//!
+//! Given a corpus of assembled 64-bit instruction words, count per-position
+//! 1-bit occurrence and emit a mask whose bit is 1 only where 1s dominate.
+//! XNORing the instruction stream with this mask maximizes its expected
+//! Hamming weight, which is the ISA coder of §4.3.
+
+use bvf_bits::PositionHistogram;
+
+use crate::arch::Architecture;
+use crate::encode::assemble_kernel;
+use crate::ir::Kernel;
+
+/// Derive the majority mask from a corpus of 64-bit instruction words.
+///
+/// Returns 0 for an empty corpus (every position ties → prefers 0).
+///
+/// # Example
+///
+/// ```
+/// use bvf_isa::derive_mask;
+///
+/// // A corpus whose bit 0 is always set and everything else clear.
+/// let mask = derive_mask(&[1u64; 10]);
+/// assert_eq!(mask, 1);
+/// ```
+pub fn derive_mask(corpus: &[u64]) -> u64 {
+    let mut h = PositionHistogram::new(64);
+    h.record_all(corpus);
+    h.majority_mask()
+}
+
+/// Assemble every kernel for `arch` and derive the mask over the combined
+/// binary — the full static procedure the paper describes (the assembler
+/// counts 0/1 occurrence in the generated binary and formulates the mask).
+pub fn derive_mask_for(arch: Architecture, kernels: &[Kernel]) -> u64 {
+    let mut corpus = Vec::new();
+    for k in kernels {
+        corpus.extend(assemble_kernel(k, arch));
+    }
+    derive_mask(&corpus)
+}
+
+/// The paper's published Table 2 mask for `arch` (reference values derived
+/// by the authors from real NVIDIA binaries).
+pub fn published_mask(arch: Architecture) -> u64 {
+    arch.published_mask()
+}
+
+/// Per-position 1-probabilities over a corpus (the Fig. 14 series).
+pub fn bit_position_profile(corpus: &[u64]) -> Vec<f64> {
+    let mut h = PositionHistogram::new(64);
+    h.record_all(corpus);
+    h.probabilities()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Instr, Op, Operand, Stmt};
+
+    fn kernels() -> Vec<Kernel> {
+        (0..8)
+            .map(|i| {
+                let mut k = Kernel::new(format!("k{i}"), 8);
+                for r in 0..6u8 {
+                    k.body.push(Stmt::I(Instr::new(
+                        if r % 2 == 0 { Op::IAdd } else { Op::FMul },
+                        r,
+                        Operand::Reg(r),
+                        Operand::Imm(u32::from(r) * 17 + i),
+                    )));
+                }
+                k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_corpus_yields_zero_mask() {
+        assert_eq!(derive_mask(&[]), 0);
+    }
+
+    #[test]
+    fn derived_mask_is_sparse_like_published() {
+        // Our synthetic encodings are 0-dominated, so the derived mask must
+        // be sparse — the same qualitative shape as Table 2.
+        for arch in Architecture::ALL {
+            let mask = derive_mask_for(arch, &kernels());
+            assert!(
+                mask.count_ones() < 32,
+                "{arch}: derived mask too dense ({:#x})",
+                mask
+            );
+        }
+    }
+
+    #[test]
+    fn derived_masks_differ_across_generations() {
+        let ks = kernels();
+        let masks: Vec<u64> = Architecture::ALL
+            .iter()
+            .map(|&a| derive_mask_for(a, &ks))
+            .collect();
+        // At least one pair must differ (field layouts are shuffled).
+        assert!(
+            masks.windows(2).any(|w| w[0] != w[1]),
+            "all generations produced identical masks"
+        );
+    }
+
+    #[test]
+    fn xnor_with_derived_mask_increases_weight() {
+        let ks = kernels();
+        for arch in Architecture::ALL {
+            let mut corpus = Vec::new();
+            for k in &ks {
+                corpus.extend(assemble_kernel(k, arch));
+            }
+            let mask = derive_mask(&corpus);
+            let before: u64 = corpus.iter().map(|w| u64::from(w.count_ones())).sum();
+            let after: u64 = corpus
+                .iter()
+                .map(|w| u64::from((!(w ^ mask)).count_ones()))
+                .sum();
+            assert!(
+                after >= before,
+                "{arch}: XNOR with majority mask reduced Hamming weight"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_has_64_entries_in_unit_interval() {
+        let p = bit_position_profile(&[0xdead_beef, 0x1234_5678_9abc_def0]);
+        assert_eq!(p.len(), 64);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn published_mask_passthrough() {
+        assert_eq!(
+            published_mask(Architecture::Pascal),
+            Architecture::Pascal.published_mask()
+        );
+    }
+}

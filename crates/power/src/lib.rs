@@ -1,0 +1,35 @@
+//! GPU chip power model — the GPUWattch substitute of the BVF evaluation.
+//!
+//! Takes a [`bvf_gpu::TraceSummary`] (per-view bit statistics for every
+//! on-chip unit plus NoC toggles) and turns it into component-level and
+//! chip-level energies for arbitrary *design points* — combinations of a
+//! memory-cell kind ([`bvf_circuit::CellKind`]), a coding view name, and an
+//! array initialization policy. The standard comparison of Figs. 16-19 is:
+//!
+//! * **baseline** — conventional 8T SRAM, no coders, arrays initialized to
+//!   random (50/50) contents;
+//! * **bvf** — the BVF 8T SRAM, all three coders, arrays initialized to
+//!   all-1s (§3.1).
+//!
+//! The model computes, per unit: dynamic energy from the 0/1 bit volumes of
+//! reads/writes/fills times the per-bit cell energies; leakage energy from
+//! capacity, measured occupancy and run time; NoC dynamic energy from wire
+//! toggles; plus calibrated non-BVF components (execution units, memory
+//! controllers, and fixed chip overhead) so that chip-level percentages are
+//! meaningful. Calibration constants are documented on
+//! [`model::NonBvfParams`] and sized so that SRAM+NoC ≈ 48% of chip power
+//! on a representative mix, NoC ≈ 5.6% (the paper's cited breakdowns).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod model;
+#[cfg(test)]
+#[path = "model_edram_tests.rs"]
+mod model_edram_tests;
+pub mod report;
+
+pub use chip::{ChipEnergy, DesignPoint};
+pub use model::{NonBvfParams, PowerModel};
+pub use report::EnergyReport;

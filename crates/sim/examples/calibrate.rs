@@ -1,0 +1,45 @@
+//! Calibration probe: prints the chip-share decomposition and BVF
+//! reductions on the smoke campaign — the tool used to fit the documented
+//! free constants (`bvf_power::NonBvfParams`, the NoC wire capacitance and
+//! the cell leakage reference) to the paper's cited breakdowns
+//! (SRAM+NoC ≈ 48% of chip power, NoC ≈ 5.6%).
+//!
+//! Run with `cargo run --release -p bvf-sim --example calibrate`.
+use bvf_circuit::{PState, ProcessNode};
+use bvf_core::Unit;
+use bvf_power::{DesignPoint, EnergyReport, PowerModel};
+use bvf_sim::Campaign;
+
+fn main() {
+    let c = Campaign::smoke();
+    for node in ProcessNode::ALL {
+        let model = PowerModel::new(node, PState::P0, c.config.clone());
+        let (mut units_b, mut units_v, mut chip_b, mut chip_v) = (0.0, 0.0, 0.0, 0.0);
+        let (mut reg, mut noc, mut leak) = (0.0, 0.0, 0.0);
+        for r in &c.results {
+            let rep = EnergyReport::evaluate(
+                &model,
+                &r.summary,
+                &[DesignPoint::baseline(), DesignPoint::bvf()],
+            );
+            let b = rep.point("baseline");
+            let v = rep.point("bvf");
+            units_b += b.bvf_units_fj();
+            units_v += v.bvf_units_fj();
+            chip_b += b.total_fj();
+            chip_v += v.total_fj();
+            reg += b.unit_fj(Unit::Reg);
+            noc += b.noc_fj;
+            leak += b.units.values().map(|u| u.leakage_fj).sum::<f64>();
+        }
+        println!(
+            "{node}: units_share={:5.1}%  REG_share={:4.1}%  NoC_share={:4.1}%  leak/units={:4.1}%  units_red={:5.1}%  chip_red={:5.1}%",
+            units_b / chip_b * 100.0,
+            reg / chip_b * 100.0,
+            noc / chip_b * 100.0,
+            leak / units_b * 100.0,
+            (1.0 - units_v / units_b) * 100.0,
+            (1.0 - chip_v / chip_b) * 100.0
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Deep calibration probe: the per-unit encoded 1-fractions and NoC toggle
+//! rates behind the energy numbers — use this to see *why* a unit's energy
+//! moved when touching coders or data profiles.
+//!
+//! Run with `cargo run --release -p bvf-sim --example calibrate2`.
+use bvf_core::Unit;
+use bvf_sim::Campaign;
+
+fn main() {
+    let c = Campaign::smoke();
+    for unit in Unit::ALL {
+        if unit == Unit::Noc {
+            continue;
+        }
+        let mut line = format!("{unit:>4}");
+        for view in ["baseline", "bvf"] {
+            let (mut r1, mut rt, mut w1, mut wt) = (0u64, 0u64, 0u64, 0u64);
+            for r in &c.results {
+                let u = r.summary.view(view).unit(unit);
+                r1 += u.read_bits.ones;
+                rt += u.read_bits.total();
+                w1 += u.write_bits.ones + u.fill_bits.ones;
+                wt += u.write_bits.total() + u.fill_bits.total();
+            }
+            line += &format!(
+                "  {view}: r1={:4.1}% w1={:4.1}%",
+                if rt == 0 {
+                    0.0
+                } else {
+                    r1 as f64 / rt as f64 * 100.0
+                },
+                if wt == 0 {
+                    0.0
+                } else {
+                    w1 as f64 / wt as f64 * 100.0
+                }
+            );
+        }
+        println!("{line}");
+    }
+    // NoC toggles
+    for view in ["baseline", "bvf"] {
+        let t: u64 = c
+            .results
+            .iter()
+            .map(|r| r.summary.view(view).noc.bit_toggles)
+            .sum();
+        let s: u64 = c
+            .results
+            .iter()
+            .map(|r| r.summary.view(view).noc.bit_slots)
+            .sum();
+        println!("noc {view}: toggles={t} rate={:.3}", t as f64 / s as f64);
+    }
+}

@@ -1,0 +1,144 @@
+//! Regenerate every table and figure of the BVF paper in one run.
+//!
+//! ```text
+//! cargo run --release -p bvf-sim --bin reproduce                    # everything
+//! cargo run --release -p bvf-sim --bin reproduce -- quick           # smoke subset
+//! cargo run --release -p bvf-sim --bin reproduce -- --export DIR    # also write
+//!                                                   # one .csv + .json per exhibit
+//! ```
+//!
+//! The full run executes five campaigns over the 58 applications (baseline,
+//! two alternative schedulers, two alternative SRAM-capacity configurations)
+//! and prints each exhibit as a fixed-width table. The output of this binary
+//! is the source of `EXPERIMENTS.md`.
+
+use bvf_circuit::ProcessNode;
+use bvf_gpu::{GpuConfig, SchedulerKind};
+use bvf_sim::figures::{ablation, circuit, energy, overhead, profile, sensitivity};
+use bvf_sim::Campaign;
+use bvf_workloads::Application;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let export_dir = args
+        .iter()
+        .position(|a| a == "--export")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &export_dir {
+        std::fs::create_dir_all(dir).expect("create export directory");
+    }
+    let emit = |t: &bvf_sim::Table| {
+        println!("{t}");
+        if let Some(dir) = &export_dir {
+            let base = std::path::Path::new(dir).join(&t.id);
+            std::fs::write(base.with_extension("csv"), t.to_csv()).expect("write csv");
+            std::fs::write(base.with_extension("json"), t.to_json()).expect("write json");
+        }
+    };
+
+    // ---- Circuit-level exhibits (no simulation needed) --------------------
+    emit(&circuit::fig05_06(ProcessNode::N28));
+    emit(&circuit::fig05_06(ProcessNode::N40));
+    emit(&circuit::table_6t_stability());
+
+    let apps = Application::all();
+    emit(&profile::fig14(&apps, bvf_isa::Architecture::Pascal));
+    emit(&profile::table2(&apps));
+    emit(&overhead::overhead_table(&GpuConfig::baseline()));
+    emit(&overhead::overhead_inventory(&GpuConfig::baseline()));
+
+    // ---- Main campaign -----------------------------------------------------
+    eprintln!(
+        "running {} campaign...",
+        if quick { "smoke" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let main_campaign = if quick {
+        Campaign::smoke()
+    } else {
+        Campaign::full_baseline()
+    };
+    eprintln!("main campaign done in {:?}", t0.elapsed());
+
+    emit(&profile::fig08(&main_campaign));
+    emit(&profile::fig09(&main_campaign));
+    emit(&profile::fig11(&main_campaign));
+    emit(&profile::fig12(&main_campaign));
+    emit(&energy::fig16_17(&main_campaign, ProcessNode::N28));
+    emit(&energy::fig16_17(&main_campaign, ProcessNode::N40));
+    emit(&energy::fig18_19(&main_campaign, ProcessNode::N28));
+    emit(&energy::fig18_19(&main_campaign, ProcessNode::N40));
+    emit(&sensitivity::fig20(&main_campaign));
+    emit(&sensitivity::fig23(&main_campaign));
+
+    // ---- Scheduler sensitivity (Fig. 21) -----------------------------------
+    let apps_for = |_: &str| -> Vec<Application> {
+        if quick {
+            ["VAD", "BFS", "BLA"]
+                .iter()
+                .map(|c| Application::by_code(c).expect("app"))
+                .collect()
+        } else {
+            Application::all()
+        }
+    };
+    let sched_campaign = |kind: SchedulerKind| -> Campaign {
+        let mut cfg = if quick {
+            let mut c = GpuConfig::baseline();
+            c.sms = 2;
+            c
+        } else {
+            GpuConfig::baseline()
+        };
+        cfg.scheduler = kind;
+        Campaign::run(cfg, &apps_for("sched"))
+    };
+    eprintln!("running scheduler campaigns...");
+    let gto = sched_campaign(SchedulerKind::Gto);
+    let lrr = sched_campaign(SchedulerKind::Lrr);
+    let two = sched_campaign(SchedulerKind::TwoLevel);
+    emit(&sensitivity::fig21(&[
+        ("GTO", &gto),
+        ("LRR", &lrr),
+        ("Two-Level", &two),
+    ]));
+
+    // ---- Capacity sensitivity (Fig. 22) ------------------------------------
+    eprintln!("running capacity campaigns...");
+    let capacity_campaign = |mut cfg: GpuConfig| -> Campaign {
+        if quick {
+            cfg.sms = cfg.sms.min(2);
+        }
+        Campaign::run(cfg, &apps_for("capacity"))
+    };
+    let c480 = capacity_campaign(GpuConfig::gtx480());
+    let cp100 = capacity_campaign(GpuConfig::tesla_p100());
+    let ck80 = capacity_campaign(GpuConfig::tesla_k80());
+    emit(&sensitivity::fig22(&[
+        ("GTX-480", &c480),
+        ("Tesla-P100", &cp100),
+        ("Tesla-K80", &ck80),
+    ]));
+
+    // ---- Ablations (DESIGN.md §5) -------------------------------------------
+    eprintln!("running ablations...");
+    emit(&ablation::bus_invert_ablation());
+    emit(&ablation::isa_mask_ablation(
+        &apps,
+        bvf_isa::Architecture::Pascal,
+    ));
+    let pivot_apps: Vec<Application> = ["OCE", "SCP", "HOT", "BFS"]
+        .iter()
+        .map(|c| Application::by_code(c).expect("pivot app"))
+        .collect();
+    let mut pivot_cfg = GpuConfig::baseline();
+    if quick {
+        pivot_cfg.sms = 2;
+    }
+    emit(&ablation::pivot_ablation(&pivot_cfg, &pivot_apps));
+    emit(&ablation::edram_substrate(&main_campaign, ProcessNode::N40));
+
+    eprintln!("all exhibits regenerated in {:?}", t0.elapsed());
+}

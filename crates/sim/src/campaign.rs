@@ -1,0 +1,154 @@
+//! A campaign: one full simulation pass over a set of applications.
+
+use bvf_gpu::{CodingView, Gpu, GpuConfig, TraceSummary};
+use bvf_isa::{derive_mask_for, Architecture};
+use bvf_workloads::Application;
+
+/// One application's simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppResult {
+    /// The application executed.
+    pub app: Application,
+    /// Its trace summary (all coding views).
+    pub summary: TraceSummary,
+}
+
+/// A full simulation pass: configuration, derived ISA mask, and one result
+/// per application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// The GPU configuration simulated.
+    pub config: GpuConfig,
+    /// Instruction-set generation used for assembly and mask derivation.
+    pub arch: Architecture,
+    /// The ISA-preference mask derived from the campaign's kernel corpus
+    /// (the paper's static method applied to this ISA).
+    pub isa_mask: u64,
+    /// Per-application results, in registry order.
+    pub results: Vec<AppResult>,
+}
+
+impl Campaign {
+    /// Derive the static ISA mask for `apps` under `arch` — the Table 2
+    /// procedure (majority vote per bit position over the assembled corpus).
+    pub fn derive_isa_mask(arch: Architecture, apps: &[Application]) -> u64 {
+        let kernels: Vec<_> = apps.iter().map(|a| a.kernel()).collect();
+        derive_mask_for(arch, &kernels)
+    }
+
+    /// Run every application in `apps` on a fresh GPU with the standard
+    /// five coding views (baseline / NV / VS / ISA / BVF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn run(config: GpuConfig, apps: &[Application]) -> Self {
+        Self::run_with_arch(config, apps, Architecture::Pascal)
+    }
+
+    /// [`Campaign::run`] with an explicit ISA generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn run_with_arch(config: GpuConfig, apps: &[Application], arch: Architecture) -> Self {
+        assert!(!apps.is_empty(), "campaign needs at least one application");
+        let isa_mask = Self::derive_isa_mask(arch, apps);
+        let views = CodingView::standard_set(isa_mask);
+        let results = apps
+            .iter()
+            .map(|app| {
+                let mut gpu = Gpu::new(config.clone(), views.clone());
+                gpu.set_architecture(arch);
+                let summary = app.run(&mut gpu);
+                AppResult {
+                    app: app.clone(),
+                    summary,
+                }
+            })
+            .collect();
+        Self {
+            config,
+            arch,
+            isa_mask,
+            results,
+        }
+    }
+
+    /// The full 58-application campaign on the Table 3 baseline.
+    pub fn full_baseline() -> Self {
+        Self::run(GpuConfig::baseline(), &Application::all())
+    }
+
+    /// A reduced campaign for fast tests: a representative subset on a
+    /// 2-SM GPU.
+    pub fn smoke() -> Self {
+        let mut config = GpuConfig::baseline();
+        config.sms = 2;
+        let apps: Vec<Application> = ["VAD", "BFS", "BLA", "IMD", "RED", "SGE"]
+            .iter()
+            .map(|c| Application::by_code(c).expect("smoke app"))
+            .collect();
+        Self::run(config, &apps)
+    }
+
+    /// Result for an application code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code is not in the campaign.
+    pub fn result(&self, code: &str) -> &AppResult {
+        self.results
+            .iter()
+            .find(|r| r.app.code == code)
+            .unwrap_or_else(|| panic!("no result for application {code:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvf_core::Unit;
+
+    #[test]
+    fn smoke_campaign_runs_everything() {
+        let c = Campaign::smoke();
+        assert_eq!(c.results.len(), 6);
+        for r in &c.results {
+            assert!(
+                r.summary.dynamic_instructions > 0,
+                "{} did not execute",
+                r.app.code
+            );
+            assert_eq!(r.summary.views.len(), 5);
+        }
+    }
+
+    #[test]
+    fn derived_mask_is_sparse() {
+        let apps = Application::all();
+        let mask = Campaign::derive_isa_mask(Architecture::Pascal, &apps);
+        // Instruction encodings are 0-dominated, so the mask must be too.
+        assert!(mask.count_ones() < 32, "mask too dense: {mask:#x}");
+    }
+
+    #[test]
+    fn bvf_view_increases_ones_across_the_board() {
+        let c = Campaign::smoke();
+        for r in &c.results {
+            let base = r.summary.view("baseline").unit(Unit::Reg);
+            let bvf = r.summary.view("bvf").unit(Unit::Reg);
+            assert!(
+                bvf.read_bits.one_fraction() > base.read_bits.one_fraction(),
+                "{}: BVF did not raise the register 1-fraction",
+                r.app.code
+            );
+        }
+    }
+
+    #[test]
+    fn result_lookup() {
+        let c = Campaign::smoke();
+        assert_eq!(c.result("VAD").app.code, "VAD");
+    }
+}

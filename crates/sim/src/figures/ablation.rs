@@ -1,0 +1,272 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **Pivot lane** — the paper fixes lane 21 from profiling; sweep the
+//!   pivot and measure the encoded register 1-fraction per choice.
+//! * **Static vs dynamic ISA mask** — the paper picks the simple static
+//!   (suite-wide) mask over per-application mask registers (§4.3.2);
+//!   quantify what the dynamic method would buy.
+//! * **Bus-invert vs BVF coding** — the classic toggle-minimizing bus code
+//!   (§3.2) against BVF's weight-maximizing objective, on both metrics.
+//! * **eDRAM substrate** — §7.2: the gain cell also exhibits BVF; compare
+//!   chip energy on the BVF-8T vs eDRAM-3T substrates.
+
+use bvf_circuit::{CellKind, PState, ProcessNode};
+use bvf_core::{BusInvertChannel, Coder, IsaCoder, NvCoder, VsCoder};
+use bvf_gpu::{CodingView, Gpu, GpuConfig};
+use bvf_isa::{assemble_kernel, derive_mask, derive_mask_for, Architecture};
+use bvf_power::{DesignPoint, EnergyReport, PowerModel};
+use bvf_workloads::{Application, DataProfile};
+
+use crate::campaign::Campaign;
+use crate::table::Table;
+
+/// Pivot-lane ablation: run `apps` once per candidate pivot and report the
+/// encoded register-read 1-fraction (the quantity the BVF cell charges).
+/// Candidates: lane 0 (prior work's default), lane 21 (the paper), lane 16
+/// (naive middle).
+pub fn pivot_ablation(config: &GpuConfig, apps: &[Application]) -> Table {
+    let mut t = Table::new(
+        "ablation-pivot",
+        "encoded register 1-fraction (%) per VS pivot choice",
+        vec!["pivot 0".into(), "pivot 16".into(), "pivot 21".into()],
+    );
+    for app in apps {
+        let mut row = Vec::new();
+        for pivot in [0usize, 16, 21] {
+            let view = CodingView {
+                name: "vs".into(),
+                nv: false,
+                vs: true,
+                isa: false,
+                vs_reg_pivot: pivot,
+                isa_mask: 0,
+            };
+            let mut gpu = Gpu::new(config.clone(), vec![view]);
+            let summary = app.run(&mut gpu);
+            let u = summary.view("vs").unit(bvf_core::Unit::Reg);
+            row.push(u.read_bits.one_fraction() * 100.0);
+        }
+        t.push(app.code, row);
+    }
+    t
+}
+
+/// Static vs dynamic ISA mask: Hamming-weight fraction of the encoded
+/// instruction stream per application under (a) the suite-wide static mask
+/// and (b) the application's own derived mask (the dynamic method's upper
+/// bound).
+pub fn isa_mask_ablation(apps: &[Application], arch: Architecture) -> Table {
+    let kernels: Vec<_> = apps.iter().map(|a| a.kernel()).collect();
+    let static_mask = derive_mask_for(arch, &kernels);
+    let mut t = Table::new(
+        "ablation-isa-mask",
+        format!("encoded instruction 1-fraction (%), static vs per-app mask ({arch})"),
+        vec!["static".into(), "dynamic".into()],
+    );
+    let mut s_sum = 0.0;
+    let mut d_sum = 0.0;
+    for app in apps {
+        let bin = assemble_kernel(&app.kernel(), arch);
+        let own_mask = derive_mask(&bin);
+        let frac = |mask: u64| -> f64 {
+            let coder = IsaCoder::new(mask);
+            let ones: u64 = bin
+                .iter()
+                .map(|&w| u64::from(coder.encode_instr(w).count_ones()))
+                .sum();
+            ones as f64 / (bin.len() as f64 * 64.0) * 100.0
+        };
+        let s = frac(static_mask);
+        let d = frac(own_mask);
+        t.push(app.code, vec![s, d]);
+        s_sum += s;
+        d_sum += d;
+    }
+    let n = apps.len() as f64;
+    t.push("AVG", vec![s_sum / n, d_sum / n]);
+    t
+}
+
+/// Bus-invert vs BVF coding on synthetic NoC traffic: for each data
+/// profile, stream 64 cache lines through a 32B channel and report (a) wire
+/// toggles and (b) mean wire Hamming-weight fraction — the two objectives.
+/// Bus-invert wins toggles on random data but leaves weight near 50%; BVF
+/// coding maximizes weight (what the BVF cell monetizes) and, with the
+/// precharged-high idle convention, competitive toggles.
+pub fn bus_invert_ablation() -> Table {
+    let mut t = Table::new(
+        "ablation-bus-invert",
+        "NoC coding schemes: toggles per line / wire 1-fraction %",
+        vec![
+            "raw tog".into(),
+            "businv tog".into(),
+            "bvf tog".into(),
+            "raw 1s%".into(),
+            "businv 1s%".into(),
+            "bvf 1s%".into(),
+        ],
+    );
+    let profiles: [(&str, DataProfile); 4] = [
+        ("narrow-int", DataProfile::NarrowInt { max: 4096 }),
+        ("smooth-f32", DataProfile::SmoothF32 { scale: 2.0 }),
+        ("pixels", DataProfile::Pixels),
+        ("dense-random", DataProfile::DenseRandom),
+    ];
+    const LINES: usize = 64;
+    const FLIT: usize = 32;
+    for (name, profile) in profiles {
+        let words = profile.generate(0x5eed, LINES * 32);
+        let mut raw = bvf_bits::ChannelToggles::new(FLIT);
+        let mut businv = BusInvertChannel::new(FLIT);
+        let mut bvf = bvf_bits::ChannelToggles::new(FLIT);
+        let (mut raw_ones, mut bi_ones, mut bvf_ones, mut slots) = (0u64, 0u64, 0u64, 0u64);
+        for line in words.chunks(32) {
+            let bytes: Vec<u8> = line.iter().flat_map(|w| w.to_le_bytes()).collect();
+            // BVF coding: NV per word, then VS over the line.
+            let mut coded = bytes.clone();
+            NvCoder.encode_bytes(&mut coded);
+            VsCoder::for_cache_lines().encode_line_bytes(&mut coded);
+            for (i, flit) in bytes.chunks(FLIT).enumerate() {
+                raw.send(flit);
+                let (wires, _) = businv.transmit(flit);
+                bvf.send(&coded[i * FLIT..(i + 1) * FLIT]);
+                raw_ones += bvf_bits::weight_bytes(flit);
+                bi_ones += bvf_bits::weight_bytes(&wires);
+                bvf_ones += bvf_bits::weight_bytes(&coded[i * FLIT..(i + 1) * FLIT]);
+                slots += FLIT as u64 * 8;
+            }
+            // Idle-high return between packets (the data-channel convention).
+            raw.send(&[0xff; FLIT]);
+            bvf.send(&[0xff; FLIT]);
+        }
+        let per_line = |tog: u64| tog as f64 / LINES as f64;
+        t.push(
+            name,
+            vec![
+                per_line(raw.stats().bit_toggles),
+                per_line(businv.wire_toggles()),
+                per_line(bvf.stats().bit_toggles),
+                raw_ones as f64 / slots as f64 * 100.0,
+                bi_ones as f64 / slots as f64 * 100.0,
+                bvf_ones as f64 / slots as f64 * 100.0,
+            ],
+        );
+    }
+    t
+}
+
+/// §7.2: chip energy on the eDRAM-3T substrate (with coders and
+/// init-to-1) vs the BVF-8T design and the conventional baseline.
+pub fn edram_substrate(campaign: &Campaign, node: ProcessNode) -> Table {
+    let mut t = Table::new(
+        "ablation-edram",
+        format!("chip energy per substrate, {node} (normalized to conv-8T baseline)"),
+        vec!["chip norm".into(), "chip red %".into()],
+    );
+    let model = PowerModel::new(node, PState::P0, campaign.config.clone());
+    let edram_point = DesignPoint {
+        name: "edram-bvf".into(),
+        cell: CellKind::Edram3T,
+        view: "bvf".into(),
+        init_ones: 1.0,
+        has_coders: true,
+    };
+    let points = [DesignPoint::baseline(), DesignPoint::bvf(), edram_point];
+    let mut totals = vec![0.0; points.len()];
+    for r in &campaign.results {
+        let report = EnergyReport::evaluate(&model, &r.summary, &points);
+        for (i, p) in report.points.iter().enumerate() {
+            totals[i] += p.total_fj();
+        }
+    }
+    for (i, p) in points.iter().enumerate() {
+        t.push(
+            p.name.clone(),
+            vec![totals[i] / totals[0], (1.0 - totals[i] / totals[0]) * 100.0],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GpuConfig {
+        let mut cfg = GpuConfig::baseline();
+        cfg.sms = 2;
+        cfg
+    }
+
+    #[test]
+    fn pivot_21_beats_lane_0_on_similar_data() {
+        let apps: Vec<Application> = ["OCE", "SCP"]
+            .iter()
+            .map(|c| Application::by_code(c).expect("app"))
+            .collect();
+        let t = pivot_ablation(&small_config(), &apps);
+        for row in &t.rows {
+            // A middle pivot must not be worse than lane 0 by any margin
+            // beyond noise on smooth data.
+            let p0 = row.values[0];
+            let p21 = row.values[2];
+            assert!(
+                p21 >= p0 - 1.0,
+                "{}: pivot 21 ({p21:.2}%) below pivot 0 ({p0:.2}%)",
+                row.label
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_masks_bound_static_from_above() {
+        let apps = Application::all();
+        let t = isa_mask_ablation(&apps, Architecture::Pascal);
+        for row in &t.rows {
+            assert!(
+                row.values[1] >= row.values[0] - 1e-9,
+                "{}: per-app mask cannot be worse than the static mask",
+                row.label
+            );
+        }
+        // The static choice must remain competitive (the paper's argument
+        // for the simple design).
+        let s = t.get("AVG", "static").unwrap();
+        let d = t.get("AVG", "dynamic").unwrap();
+        assert!(d - s < 10.0, "static {s}% vs dynamic {d}%: gap too large");
+    }
+
+    #[test]
+    fn bus_invert_and_bvf_optimize_different_objectives() {
+        let t = bus_invert_ablation();
+        // On dense random data, bus-invert cuts toggles vs raw.
+        let raw = t.get("dense-random", "raw tog").unwrap();
+        let bi = t.get("dense-random", "businv tog").unwrap();
+        assert!(bi <= raw + 1.0, "bus-invert failed on random data");
+        // But only BVF coding drives the wire 1-fraction far above 50%.
+        for name in ["narrow-int", "smooth-f32", "pixels"] {
+            let bvf_ones = t.get(name, "bvf 1s%").unwrap();
+            let bi_ones = t.get(name, "businv 1s%").unwrap();
+            assert!(
+                bvf_ones > bi_ones + 10.0,
+                "{name}: BVF 1s {bvf_ones}% vs bus-invert {bi_ones}%"
+            );
+            assert!(bvf_ones > 60.0, "{name}: {bvf_ones}%");
+        }
+    }
+
+    #[test]
+    fn edram_substrate_also_saves() {
+        let c = Campaign::smoke();
+        let t = edram_substrate(&c, ProcessNode::N40);
+        let bvf = t.get("bvf", "chip red %").unwrap();
+        let edram = t.get("edram-bvf", "chip red %").unwrap();
+        assert!(bvf > 0.0);
+        // The gain cell exhibits BVF too (§7.2); with coders it must beat
+        // the conventional baseline despite its refresh bill.
+        assert!(
+            edram > 0.0,
+            "eDRAM substrate lost the BVF benefit: {edram}%"
+        );
+    }
+}

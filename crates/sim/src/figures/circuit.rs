@@ -1,0 +1,133 @@
+//! Circuit-level exhibits: Fig. 5/6 (per-access energies) and the §7.1
+//! 6T-BVF read-stability table.
+
+use bvf_circuit::{
+    bvf6t_read0_flips, bvf6t_read_margin, AccessEnergy, CellKind, ProcessNode, Supply,
+};
+
+use crate::table::Table;
+
+/// Fig. 5 (28nm) / Fig. 6 (40nm): normalized energy of a single access for
+/// 6T / "Avg" / Conv-8T / BVF-8T at nominal voltage, and the 8T designs at
+/// near-threshold, with a column height of 32 cells ("Set=32").
+///
+/// Values are normalized to the 6T read at nominal voltage on the same
+/// node, matching the paper's presentation.
+pub fn fig05_06(node: ProcessNode) -> Table {
+    let id = match node {
+        ProcessNode::N28 => "fig05",
+        ProcessNode::N40 => "fig06",
+    };
+    let mut t = Table::new(
+        id,
+        format!("energy for a single access, {node}, Set=32 (normalized to 6T read)"),
+        ["read0", "read1", "write0", "write1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let set = 32;
+    let reference = AccessEnergy::of(CellKind::Sram6T, node, Supply::NOMINAL, set).read0;
+    let mut push = |label: String, e: AccessEnergy| {
+        t.push(
+            label,
+            vec![
+                e.read0 / reference,
+                e.read1 / reference,
+                e.write0 / reference,
+                e.write1 / reference,
+            ],
+        );
+    };
+    for supply in [Supply::NOMINAL, Supply::NEAR_THRESHOLD] {
+        for cell in [CellKind::Sram6T, CellKind::ConvSram8T, CellKind::BvfSram8T] {
+            if !cell.operates_at(supply) {
+                continue;
+            }
+            let e = AccessEnergy::of(cell, node, supply, set);
+            push(format!("{cell}@{supply}"), e);
+            // The "Avg" scenario: the conventional simulator assumption of
+            // value-independent access energy for the 8T cell.
+            if cell == CellKind::ConvSram8T {
+                let avg = AccessEnergy {
+                    read0: e.read_avg(),
+                    read1: e.read_avg(),
+                    write0: e.write_avg(),
+                    write1: e.write_avg(),
+                };
+                push(format!("Avg-8T@{supply}"), avg);
+            }
+        }
+    }
+    t
+}
+
+/// §7.1: read-0 disturbance margin of the 6T-BVF variant vs cells per
+/// bitline, with a flip indicator (margin ≥ 1). Reproduces "beyond 16
+/// cells per bitline, reading 0 may flip the cell" at 28nm.
+pub fn table_6t_stability() -> Table {
+    let mut t = Table::new(
+        "table-6t-stability",
+        "6T-BVF read-0 disturbance margin vs cells per bitline (flip at ≥ 1.0)",
+        vec![
+            "28nm margin".into(),
+            "28nm flips".into(),
+            "40nm margin".into(),
+            "40nm flips".into(),
+        ],
+    );
+    for cells in [4u32, 8, 12, 16, 17, 24, 32, 64, 128, 256] {
+        t.push(
+            format!("{cells} cells"),
+            vec![
+                bvf6t_read_margin(ProcessNode::N28, cells),
+                f64::from(u8::from(bvf6t_read0_flips(ProcessNode::N28, cells))),
+                bvf6t_read_margin(ProcessNode::N40, cells),
+                f64::from(u8::from(bvf6t_read0_flips(ProcessNode::N40, cells))),
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig05_shows_bvf_asymmetry() {
+        let t = fig05_06(ProcessNode::N28);
+        let read0 = t.get("BVF-8T@1.20V", "read0").unwrap();
+        let read1 = t.get("BVF-8T@1.20V", "read1").unwrap();
+        let write0 = t.get("BVF-8T@1.20V", "write0").unwrap();
+        let write1 = t.get("BVF-8T@1.20V", "write1").unwrap();
+        assert!(read1 < 0.2 * read0);
+        assert!(write1 < 0.2 * write1.max(write0));
+        assert!(write0 > 1.8, "write miss ≈ 2x a conventional write");
+    }
+
+    #[test]
+    fn fig06_has_6t_only_at_nominal() {
+        let t = fig05_06(ProcessNode::N40);
+        assert!(t.get("6T@1.20V", "read0").is_some());
+        assert!(t.get("6T@0.60V", "read0").is_none());
+        assert!(t.get("BVF-8T@0.60V", "read0").is_some());
+    }
+
+    #[test]
+    fn avg_row_is_value_independent() {
+        let t = fig05_06(ProcessNode::N28);
+        assert_eq!(
+            t.get("Avg-8T@1.20V", "read0"),
+            t.get("Avg-8T@1.20V", "read1")
+        );
+    }
+
+    #[test]
+    fn stability_flips_beyond_16_cells_at_28nm() {
+        let t = table_6t_stability();
+        assert_eq!(t.get("16 cells", "28nm flips"), Some(0.0));
+        assert_eq!(t.get("17 cells", "28nm flips"), Some(1.0));
+        assert_eq!(t.get("128 cells", "40nm flips"), Some(1.0));
+    }
+}

@@ -1,0 +1,8 @@
+//! One module per family of paper exhibits.
+
+pub mod ablation;
+pub mod circuit;
+pub mod energy;
+pub mod overhead;
+pub mod profile;
+pub mod sensitivity;

@@ -1,0 +1,90 @@
+//! §6.3 design-overhead table: XNOR gate count, power and area.
+
+use bvf_circuit::ProcessNode;
+use bvf_core::CoderOverhead;
+use bvf_gpu::GpuConfig;
+
+use crate::table::Table;
+
+/// Wiring factor applied on top of raw gate area (§6.3's totals include
+/// wiring overhead).
+const WIRING_FACTOR: f64 = 1.15;
+
+/// Approximate leakage per XNOR gate in nanowatts at nominal voltage.
+fn gate_leakage_nw(node: ProcessNode) -> f64 {
+    match node {
+        ProcessNode::N28 => 0.12,
+        ProcessNode::N40 => 0.15,
+    }
+}
+
+/// The §6.3 overhead summary: total gates, conservative dynamic power,
+/// static power, area, and area share of a ~520mm² die.
+pub fn overhead_table(config: &GpuConfig) -> Table {
+    let inv = CoderOverhead::baseline(u64::from(config.sms), u64::from(config.l2_banks));
+    let gates = inv.total_gates() as f64;
+    let mut t = Table::new(
+        "table-overhead",
+        format!("coder design overhead ({} XNOR gates total)", gates as u64),
+        vec![
+            "dyn power mW".into(),
+            "static power uW".into(),
+            "area mm2".into(),
+            "die area %".into(),
+        ],
+    );
+    const DIE_MM2: f64 = 520.0; // GF100-class die
+    for node in ProcessNode::ALL {
+        let dynamic = inv.dynamic_power_mw(node.xnor_energy_fj(), 700.0e6);
+        let stat = inv.static_power_uw(gate_leakage_nw(node));
+        let area = inv.area_mm2(node.xnor_area_um2(), WIRING_FACTOR);
+        t.push(
+            node.to_string(),
+            vec![dynamic, stat, area, area / DIE_MM2 * 100.0],
+        );
+    }
+    t
+}
+
+/// The itemized gate inventory behind the total.
+pub fn overhead_inventory(config: &GpuConfig) -> Table {
+    let inv = CoderOverhead::baseline(u64::from(config.sms), u64::from(config.l2_banks));
+    let mut t = Table::new(
+        "table-overhead-inventory",
+        "XNOR gate inventory per interface",
+        vec!["gates".into()],
+    );
+    for (label, gates) in inv.items() {
+        t.push(label.clone(), vec![*gates as f64]);
+    }
+    t.push("TOTAL", vec![inv.total_gates() as f64]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_matches_papers_magnitudes() {
+        let t = overhead_table(&GpuConfig::baseline());
+        // Paper: 46.5mW/60.5mW dynamic, 18.7µW/24.2µW static,
+        // 0.207/0.294 mm², ≈0.056% of the die.
+        let d28 = t.get("28nm", "dyn power mW").unwrap();
+        let d40 = t.get("40nm", "dyn power mW").unwrap();
+        assert!((20.0..=100.0).contains(&d28), "28nm dynamic {d28}");
+        assert!(d40 > d28);
+        let a28 = t.get("28nm", "area mm2").unwrap();
+        assert!((0.1..=0.45).contains(&a28), "28nm area {a28}");
+        let pct = t.get("28nm", "die area %").unwrap();
+        assert!(pct < 0.1, "area share {pct}% must be negligible");
+    }
+
+    #[test]
+    fn inventory_sums_to_total() {
+        let t = overhead_inventory(&GpuConfig::baseline());
+        let total = t.rows.last().unwrap().values[0];
+        let sum: f64 = t.rows[..t.rows.len() - 1].iter().map(|r| r.values[0]).sum();
+        assert_eq!(total, sum);
+    }
+}

@@ -1,0 +1,326 @@
+//! Application descriptors: kernel template + data profiles + launch shape.
+
+use bvf_gpu::{Gpu, TraceSummary};
+use bvf_isa::ir::{BufferId, Kernel, LaunchConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::data::DataProfile;
+use crate::kernels;
+
+/// Benchmark suite of origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// Rodinia heterogeneous-computing suite.
+    Rodinia,
+    /// Parboil throughput-computing suite.
+    Parboil,
+    /// NVIDIA CUDA SDK samples.
+    CudaSdk,
+    /// SHOC scalable heterogeneous computing suite.
+    Shoc,
+    /// Lonestar irregular-algorithms suite.
+    Lonestar,
+    /// PolyBench/GPU linear-algebra kernels.
+    Polybench,
+    /// Workloads shipped with GPGPU-Sim.
+    GpgpuSim,
+}
+
+/// The paper's memory- vs compute-intensity classification (Fig. 18/19:
+/// memory-intensive applications save more chip energy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppClass {
+    /// Dominated by memory-hierarchy and NoC traffic.
+    MemoryIntensive,
+    /// Dominated by execution-unit work.
+    ComputeIntensive,
+    /// In between.
+    Balanced,
+}
+
+/// Which kernel template an application instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Template {
+    /// Streaming map (`kernels::streaming`).
+    Streaming {
+        /// Extra FFMA iterations per element.
+        compute: u32,
+    },
+    /// 1-D stencil (`kernels::stencil`).
+    Stencil {
+        /// Extra FFMA iterations per element.
+        compute: u32,
+    },
+    /// Index-driven gather (`kernels::gather`).
+    Gather {
+        /// Pointer-chase depth.
+        hops: u32,
+    },
+    /// Strided, uncoalesced copy (`kernels::strided`).
+    Strided {
+        /// Element stride between consecutive lanes.
+        stride: u32,
+    },
+    /// Shared-memory tree reduction (`kernels::reduction`).
+    Reduction,
+    /// Tiled inner product (`kernels::matmul`).
+    Matmul {
+        /// Inner-product length.
+        k: u32,
+    },
+    /// Texture filtering (`kernels::texture_filter`).
+    Texture {
+        /// Filter taps.
+        taps: u32,
+    },
+    /// Data-dependent branching (`kernels::divergent`).
+    Divergent {
+        /// Then-arm compute iterations.
+        compute: u32,
+    },
+    /// Pure compute (`kernels::compute_bound`).
+    ComputeBound {
+        /// FFMA-tower iterations.
+        iters: u32,
+    },
+    /// Shared-memory histogram (`kernels::histogram`).
+    Histogram {
+        /// Number of bins.
+        bins: u32,
+    },
+}
+
+/// One of the 58 evaluated applications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Application {
+    /// Three-letter code used across the paper's figures.
+    pub code: &'static str,
+    /// Long name of the application this one stands in for.
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// Memory/compute classification.
+    pub class: AppClass,
+    /// Kernel template.
+    pub template: Template,
+    /// Value distribution of the primary input buffer.
+    pub input: DataProfile,
+}
+
+impl Application {
+    /// All 58 applications, in suite order (see [`crate::suite`]).
+    pub fn all() -> Vec<Application> {
+        crate::suite::all()
+    }
+
+    /// Look up an application by its three-letter code.
+    pub fn by_code(code: &str) -> Option<Application> {
+        Self::all().into_iter().find(|a| a.code == code)
+    }
+
+    /// The subsets the paper highlights as memory-intensive big savers.
+    pub fn memory_intensive() -> Vec<Application> {
+        Self::all()
+            .into_iter()
+            .filter(|a| a.class == AppClass::MemoryIntensive)
+            .collect()
+    }
+
+    /// The subsets the paper highlights as compute-intensive modest savers.
+    pub fn compute_intensive() -> Vec<Application> {
+        Self::all()
+            .into_iter()
+            .filter(|a| a.class == AppClass::ComputeIntensive)
+            .collect()
+    }
+
+    /// Deterministic per-app data seed.
+    fn seed(&self) -> u64 {
+        self.code.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        })
+    }
+
+    /// Problem size (words in the primary buffer), by class.
+    pub fn problem_words(&self) -> usize {
+        match self.class {
+            AppClass::MemoryIntensive => 16 * 1024,
+            AppClass::Balanced => 8 * 1024,
+            AppClass::ComputeIntensive => 4 * 1024,
+        }
+    }
+
+    /// Launch geometry, by class.
+    pub fn launch_config(&self) -> LaunchConfig {
+        match self.class {
+            AppClass::MemoryIntensive => LaunchConfig::new(24, 128),
+            AppClass::Balanced => LaunchConfig::new(16, 128),
+            AppClass::ComputeIntensive => LaunchConfig::new(12, 128),
+        }
+    }
+
+    /// Build the kernel for this application.
+    pub fn kernel(&self) -> Kernel {
+        let mut k = match self.template {
+            Template::Streaming { compute } => kernels::streaming(compute),
+            Template::Stencil { compute } => kernels::stencil(compute),
+            Template::Gather { hops } => kernels::gather(hops),
+            Template::Strided { stride } => kernels::strided(stride),
+            Template::Reduction => kernels::reduction(),
+            Template::Matmul { k } => kernels::matmul(k),
+            Template::Texture { taps } => kernels::texture_filter(taps),
+            Template::Divergent { compute } => kernels::divergent(compute),
+            Template::ComputeBound { iters } => kernels::compute_bound(iters),
+            Template::Histogram { bins } => kernels::histogram(bins),
+        };
+        k.name = format!("{}::{}", self.code, k.name);
+        k
+    }
+
+    /// Register this application's buffers in `gpu`'s global memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GPU already has buffers registered under the ids this
+    /// application uses (run each app on a fresh [`Gpu`] or a fresh memory).
+    pub fn prepare(&self, gpu: &mut Gpu) {
+        let n = self.problem_words();
+        let seed = self.seed();
+        let mem = gpu.memory_mut();
+        match self.template {
+            Template::Streaming { .. } | Template::Matmul { .. } => {
+                mem.add_buffer(BufferId(0), self.input.generate(seed, n));
+                mem.add_buffer(BufferId(1), self.input.generate(seed ^ 1, n));
+                mem.add_buffer(BufferId(2), vec![0; n]);
+            }
+            Template::Stencil { .. } => {
+                mem.add_buffer(BufferId(0), self.input.generate(seed, n + 2));
+                mem.add_buffer(BufferId(1), vec![0; n]);
+            }
+            Template::Strided { .. } => {
+                mem.add_buffer(BufferId(0), self.input.generate(seed, n));
+                mem.add_buffer(BufferId(1), vec![0; n]);
+            }
+            Template::Gather { .. } => {
+                let idx = DataProfile::Indices { n: n as u32 };
+                mem.add_buffer(BufferId(0), idx.generate(seed, n));
+                mem.add_buffer(BufferId(1), self.input.generate(seed ^ 2, n));
+                mem.add_buffer(BufferId(2), vec![0; n]);
+            }
+            Template::Reduction => {
+                mem.add_buffer(BufferId(0), self.input.generate(seed, n));
+                mem.add_buffer(
+                    BufferId(1),
+                    vec![0; self.launch_config().grid_ctas as usize],
+                );
+            }
+            Template::Texture { .. } => {
+                mem.add_buffer(BufferId(0), self.input.generate(seed, n));
+                mem.add_buffer(
+                    BufferId(1),
+                    DataProfile::SmoothF32 { scale: 0.25 }.generate(seed ^ 3, 64),
+                );
+                mem.add_buffer(BufferId(2), vec![0; n]);
+            }
+            Template::Divergent { .. } | Template::ComputeBound { .. } => {
+                mem.add_buffer(BufferId(0), self.input.generate(seed, n));
+                mem.add_buffer(BufferId(1), vec![0; n]);
+            }
+            Template::Histogram { .. } => {
+                mem.add_buffer(BufferId(0), self.input.generate(seed, n));
+                mem.add_buffer(BufferId(1), vec![0; n]);
+            }
+        }
+    }
+
+    /// Prepare buffers and run the application to completion.
+    pub fn run(&self, gpu: &mut Gpu) -> TraceSummary {
+        self.prepare(gpu);
+        gpu.launch(&self.kernel(), self.launch_config())
+    }
+}
+
+impl core::fmt::Display for Application {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} ({})", self.code, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvf_gpu::{CodingView, GpuConfig};
+
+    #[test]
+    fn registry_has_58_unique_applications() {
+        let apps = Application::all();
+        assert_eq!(apps.len(), 58, "the paper evaluates exactly 58 apps");
+        let mut codes: Vec<_> = apps.iter().map(|a| a.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 58, "duplicate application codes");
+    }
+
+    #[test]
+    fn paper_highlighted_apps_are_present_and_classified() {
+        for code in ["ATA", "BFS", "BIC", "CON", "COR", "GES", "SYK", "SYR", "MD"] {
+            let a = Application::by_code(code).unwrap_or_else(|| panic!("missing {code}"));
+            assert_eq!(
+                a.class,
+                AppClass::MemoryIntensive,
+                "{code} must be memory-intensive per Fig. 18"
+            );
+        }
+        for code in ["BLA", "CP", "DXT", "LIB", "NQU", "PAR", "PAT", "SGE"] {
+            let a = Application::by_code(code).unwrap_or_else(|| panic!("missing {code}"));
+            assert_eq!(
+                a.class,
+                AppClass::ComputeIntensive,
+                "{code} must be compute-intensive per Fig. 18"
+            );
+        }
+    }
+
+    #[test]
+    fn every_suite_is_represented() {
+        let apps = Application::all();
+        for suite in [
+            Suite::Rodinia,
+            Suite::Parboil,
+            Suite::CudaSdk,
+            Suite::Shoc,
+            Suite::Lonestar,
+            Suite::Polybench,
+            Suite::GpgpuSim,
+        ] {
+            assert!(
+                apps.iter().any(|a| a.suite == suite),
+                "no application from {suite:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let apps = Application::all();
+        let mut seeds: Vec<u64> = apps.iter().map(|a| a.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 58);
+    }
+
+    #[test]
+    fn one_app_per_template_family_runs() {
+        let mut cfg = GpuConfig::baseline();
+        cfg.sms = 2;
+        for code in [
+            "VAD", "HOT", "BFS", "RED", "SGE", "IMD", "NQU", "BLA", "HST",
+        ] {
+            let app = Application::by_code(code).unwrap_or_else(|| panic!("missing {code}"));
+            let mut gpu = Gpu::new(cfg.clone(), vec![CodingView::baseline()]);
+            let s = app.run(&mut gpu);
+            assert!(s.dynamic_instructions > 0, "{code} did not execute");
+            assert!(s.cycles > 0, "{code} has no runtime");
+        }
+    }
+}

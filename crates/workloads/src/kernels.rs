@@ -1,0 +1,552 @@
+//! Kernel templates: the memory/compute behavior families the 58
+//! applications instantiate.
+//!
+//! Each builder returns a `bvf-isa` [`Kernel`] over a fixed buffer-id
+//! convention (inputs at low ids, the output buffer last). Templates are
+//! parameterized by an inner-loop count (compute intensity) so the same
+//! shape can stand in for both memory- and compute-bound applications.
+
+use bvf_isa::ir::{BufferId, CmpOp, Cond, Instr, Kernel, Op, Operand, Special, Stmt};
+
+/// Register allocation used across the templates.
+const R_IDX: u8 = 0; // global thread id
+const R_A: u8 = 1;
+const R_B: u8 = 2;
+const R_C: u8 = 3;
+const R_ACC: u8 = 4;
+const R_T0: u8 = 5;
+const R_T1: u8 = 6;
+
+fn load_tid() -> Stmt {
+    Stmt::op3(
+        Op::Mov,
+        R_IDX,
+        Operand::Special(Special::GlobalTid),
+        Operand::Imm(0),
+    )
+}
+
+fn compute_chain(iters: u32) -> Stmt {
+    // acc = acc * 1.000977 + a  — an FFMA chain keeping values bounded.
+    Stmt::For {
+        n: iters,
+        body: vec![Stmt::op4(
+            Op::FFma,
+            R_ACC,
+            Operand::Reg(R_ACC),
+            Operand::imm_f32(1.000_977),
+            Operand::Reg(R_A),
+        )],
+    }
+}
+
+/// `out[i] = a[i] + b[i]` with an optional compute chain — vectorAdd / triad.
+pub fn streaming(compute_iters: u32) -> Kernel {
+    let mut k = Kernel::new("streaming", 8);
+    k.body.push(load_tid());
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_A,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(1)),
+        R_B,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::IAdd,
+        R_ACC,
+        Operand::Reg(R_A),
+        Operand::Reg(R_B),
+    ));
+    if compute_iters > 0 {
+        k.body.push(compute_chain(compute_iters));
+    }
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(2)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_ACC),
+    ));
+    k
+}
+
+/// `out[i] = (a[i-1] + a[i] + a[i+1]) / weights` — 1-D stencil (hotspot,
+/// FDTD, SRAD). Neighbor loads reuse cache lines heavily.
+pub fn stencil(compute_iters: u32) -> Kernel {
+    let mut k = Kernel::new("stencil", 8);
+    k.body.push(load_tid());
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_A,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_B,
+        Operand::Reg(R_IDX),
+        Operand::Imm(1),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_C,
+        Operand::Reg(R_IDX),
+        Operand::Imm(2),
+    ));
+    k.body.push(Stmt::op3(
+        Op::FAdd,
+        R_ACC,
+        Operand::Reg(R_A),
+        Operand::Reg(R_B),
+    ));
+    k.body.push(Stmt::op3(
+        Op::FAdd,
+        R_ACC,
+        Operand::Reg(R_ACC),
+        Operand::Reg(R_C),
+    ));
+    k.body.push(Stmt::op3(
+        Op::FMul,
+        R_ACC,
+        Operand::Reg(R_ACC),
+        Operand::imm_f32(1.0 / 3.0),
+    ));
+    if compute_iters > 0 {
+        k.body.push(compute_chain(compute_iters));
+    }
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(1)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_ACC),
+    ));
+    k
+}
+
+/// `out[i] = in[i * stride]` — a strided (uncoalesced) copy: matrix
+/// transpose, struct-of-arrays conversion. With `stride ≥ 32` every lane of
+/// a warp touches a different cache line, the worst case for memory
+/// divergence (§4.2.2-A).
+pub fn strided(stride: u32) -> Kernel {
+    let mut k = Kernel::new("strided", 8);
+    k.body.push(load_tid());
+    k.body.push(Stmt::op3(
+        Op::IMul,
+        R_T0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(stride.max(1)),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_A,
+        Operand::Reg(R_T0),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(1)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_A),
+    ));
+    k
+}
+
+/// `out[i] = data[idx[i]]` — an index-driven gather (BFS, SpMV, MUMmer).
+/// Irregular lane addresses exercise memory divergence.
+pub fn gather(hops: u32) -> Kernel {
+    let mut k = Kernel::new("gather", 8);
+    k.body.push(load_tid());
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_A,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    // Pointer-chase through the index buffer.
+    k.body.push(Stmt::For {
+        n: hops,
+        body: vec![Stmt::op3(
+            Op::LdGlobal(BufferId(0)),
+            R_A,
+            Operand::Reg(R_A),
+            Operand::Imm(0),
+        )],
+    });
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(1)),
+        R_B,
+        Operand::Reg(R_A),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(2)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_B),
+    ));
+    k
+}
+
+/// Shared-memory tree reduction with divergent strides (reduction, scan,
+/// histogram-style codes).
+pub fn reduction() -> Kernel {
+    let mut k = Kernel::new("reduction", 8);
+    k.shared_words = 256;
+    k.body.push(load_tid());
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        R_T0,
+        Operand::Special(Special::TidX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_A,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op4(
+        Op::StShared,
+        0,
+        Operand::Reg(R_T0),
+        Operand::Imm(0),
+        Operand::Reg(R_A),
+    ));
+    k.body.push(Stmt::I(Instr::new(
+        Op::Bar,
+        0,
+        Operand::Imm(0),
+        Operand::Imm(0),
+    )));
+    // Three halving steps: tid < 64 / 32 / 16 accumulate partner elements.
+    for stride in [64u32, 32, 16] {
+        k.body.push(Stmt::If {
+            cond: Cond {
+                a: Operand::Reg(R_T0),
+                op: CmpOp::Lt,
+                b: Operand::Imm(stride),
+            },
+            then: vec![
+                Stmt::op3(Op::IAdd, R_T1, Operand::Reg(R_T0), Operand::Imm(stride)),
+                Stmt::op3(Op::LdShared, R_B, Operand::Reg(R_T1), Operand::Imm(0)),
+                Stmt::op3(Op::LdShared, R_C, Operand::Reg(R_T0), Operand::Imm(0)),
+                Stmt::op3(Op::IAdd, R_C, Operand::Reg(R_C), Operand::Reg(R_B)),
+                Stmt::op4(
+                    Op::StShared,
+                    0,
+                    Operand::Reg(R_T0),
+                    Operand::Imm(0),
+                    Operand::Reg(R_C),
+                ),
+            ],
+            els: vec![],
+        });
+        k.body.push(Stmt::I(Instr::new(
+            Op::Bar,
+            0,
+            Operand::Imm(0),
+            Operand::Imm(0),
+        )));
+    }
+    k.body.push(Stmt::If {
+        cond: Cond {
+            a: Operand::Reg(R_T0),
+            op: CmpOp::Eq,
+            b: Operand::Imm(0),
+        },
+        then: vec![
+            Stmt::op3(Op::LdShared, R_A, Operand::Imm(0), Operand::Imm(0)),
+            Stmt::op4(
+                Op::StGlobal(BufferId(1)),
+                0,
+                Operand::Special(Special::CtaIdX),
+                Operand::Imm(0),
+                Operand::Reg(R_A),
+            ),
+        ],
+        els: vec![],
+    });
+    k
+}
+
+/// Tiled inner-product over `k_iters` steps with constant-memory
+/// coefficients — GEMM/SYRK-family compute (SGEMM, 2MM, SYR2K).
+pub fn matmul(k_iters: u32) -> Kernel {
+    let mut k = Kernel::new("matmul", 10);
+    k.body.push(load_tid());
+    k.body
+        .push(Stmt::op3(Op::Mov, R_ACC, Operand::Imm(0), Operand::Imm(0)));
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        R_T0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::For {
+        n: k_iters,
+        body: vec![
+            Stmt::op3(
+                Op::LdGlobal(BufferId(0)),
+                R_A,
+                Operand::Reg(R_T0),
+                Operand::Imm(0),
+            ),
+            Stmt::op3(
+                Op::LdGlobal(BufferId(1)),
+                R_B,
+                Operand::Reg(R_T0),
+                Operand::Imm(0),
+            ),
+            Stmt::op4(
+                Op::FFma,
+                R_ACC,
+                Operand::Reg(R_A),
+                Operand::Reg(R_B),
+                Operand::Reg(R_ACC),
+            ),
+            Stmt::op3(Op::IAdd, R_T0, Operand::Reg(R_T0), Operand::Imm(32)),
+        ],
+    });
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(2)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_ACC),
+    ));
+    k
+}
+
+/// Texture-sampled filtering (imageDenoising, volumeRender, DXTC): loads
+/// through L1T with constant coefficients through L1C.
+pub fn texture_filter(taps: u32) -> Kernel {
+    let mut k = Kernel::new("texture_filter", 10);
+    k.body.push(load_tid());
+    k.body
+        .push(Stmt::op3(Op::Mov, R_ACC, Operand::Imm(0), Operand::Imm(0)));
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        R_T0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::For {
+        n: taps,
+        body: vec![
+            Stmt::op3(
+                Op::LdTexture(BufferId(0)),
+                R_A,
+                Operand::Reg(R_T0),
+                Operand::Imm(0),
+            ),
+            Stmt::op3(
+                Op::LdConst(BufferId(1)),
+                R_B,
+                Operand::Special(Special::LaneId),
+                Operand::Imm(0),
+            ),
+            Stmt::op4(
+                Op::FFma,
+                R_ACC,
+                Operand::Reg(R_A),
+                Operand::Reg(R_B),
+                Operand::Reg(R_ACC),
+            ),
+            Stmt::op3(Op::IAdd, R_T0, Operand::Reg(R_T0), Operand::Imm(1)),
+        ],
+    });
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(2)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_ACC),
+    ));
+    k
+}
+
+/// Data-dependent branching (ray tracing, nqueens, Monte-Carlo pricing):
+/// lanes diverge on a loaded threshold.
+pub fn divergent(compute_iters: u32) -> Kernel {
+    let mut k = Kernel::new("divergent", 8);
+    k.body.push(load_tid());
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_A,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::If {
+        cond: Cond {
+            a: Operand::Reg(R_A),
+            op: CmpOp::Lt,
+            b: Operand::Imm(16),
+        },
+        then: vec![
+            Stmt::op3(Op::Mov, R_ACC, Operand::Reg(R_A), Operand::Imm(0)),
+            compute_chain(compute_iters),
+        ],
+        els: vec![
+            Stmt::op3(Op::IMul, R_ACC, Operand::Reg(R_A), Operand::Imm(3)),
+            Stmt::op3(Op::IAdd, R_ACC, Operand::Reg(R_ACC), Operand::Imm(1)),
+        ],
+    });
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(1)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_ACC),
+    ));
+    k
+}
+
+/// Pure compute with minimal memory (BlackScholes-style transcendental
+/// chains approximated by FFMA towers).
+pub fn compute_bound(iters: u32) -> Kernel {
+    let mut k = Kernel::new("compute_bound", 8);
+    k.body.push(load_tid());
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_A,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        R_ACC,
+        Operand::Reg(R_A),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::For {
+        n: iters,
+        body: vec![
+            Stmt::op4(
+                Op::FFma,
+                R_ACC,
+                Operand::Reg(R_ACC),
+                Operand::imm_f32(0.999_512),
+                Operand::Reg(R_A),
+            ),
+            Stmt::op4(
+                Op::FFma,
+                R_T0,
+                Operand::Reg(R_ACC),
+                Operand::imm_f32(0.5),
+                Operand::imm_f32(0.25),
+            ),
+            Stmt::op3(Op::FMax, R_ACC, Operand::Reg(R_ACC), Operand::Reg(R_T0)),
+        ],
+    });
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(1)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_ACC),
+    ));
+    k
+}
+
+/// Shared-memory histogram (histogram, kmeans assignment): scattered
+/// scratchpad writes with bank conflicts.
+pub fn histogram(bins: u32) -> Kernel {
+    let mut k = Kernel::new("histogram", 8);
+    k.shared_words = bins.max(1);
+    k.body.push(load_tid());
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        R_A,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+    ));
+    // bin = value mod bins (via mask when bins is a power of two)
+    k.body.push(Stmt::op3(
+        Op::And,
+        R_T0,
+        Operand::Reg(R_A),
+        Operand::Imm(bins.next_power_of_two() - 1),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdShared,
+        R_B,
+        Operand::Reg(R_T0),
+        Operand::Imm(0),
+    ));
+    k.body
+        .push(Stmt::op3(Op::IAdd, R_B, Operand::Reg(R_B), Operand::Imm(1)));
+    k.body.push(Stmt::op4(
+        Op::StShared,
+        0,
+        Operand::Reg(R_T0),
+        Operand::Imm(0),
+        Operand::Reg(R_B),
+    ));
+    k.body.push(Stmt::I(Instr::new(
+        Op::Bar,
+        0,
+        Operand::Imm(0),
+        Operand::Imm(0),
+    )));
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        R_T1,
+        Operand::Special(Special::TidX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdShared,
+        R_C,
+        Operand::Reg(R_T1),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(1)),
+        0,
+        Operand::Reg(R_IDX),
+        Operand::Imm(0),
+        Operand::Reg(R_C),
+    ));
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_compile_to_flat_programs() {
+        use bvf_gpu::exec::FlatProgram;
+        for k in [
+            streaming(0),
+            streaming(8),
+            stencil(4),
+            gather(2),
+            reduction(),
+            matmul(16),
+            texture_filter(8),
+            divergent(4),
+            compute_bound(32),
+            histogram(64),
+        ] {
+            let p = FlatProgram::compile(&k, bvf_isa::Architecture::Pascal);
+            assert!(p.ops.len() > 2, "{}: degenerate program", k.name);
+            assert_eq!(p.ops.len(), p.words.len());
+        }
+    }
+
+    #[test]
+    fn templates_declare_shared_memory_where_needed() {
+        assert!(reduction().shared_words > 0);
+        assert!(histogram(128).shared_words >= 128);
+        assert_eq!(streaming(0).shared_words, 0);
+    }
+}

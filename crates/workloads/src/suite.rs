@@ -1,0 +1,137 @@
+//! The registry of all 58 applications.
+//!
+//! Codes follow the paper's figures where the paper names them (ATA, BFS,
+//! BIC, CON, COR, GES, SYK, SYR, MD as memory-intensive; BLA, CP, DXT,
+//! LIB, NQU, PAR, PAT, SGE as compute-intensive); the remaining codes are
+//! standard abbreviations of the suites' well-known kernels. Each entry
+//! picks the kernel template and data profile matching the real
+//! application's access pattern and value distribution.
+
+use crate::app::{AppClass, Application, Suite, Template};
+use crate::data::DataProfile;
+
+macro_rules! app {
+    ($code:literal, $name:literal, $suite:ident, $class:ident, $template:expr, $input:expr) => {
+        Application {
+            code: $code,
+            name: $name,
+            suite: Suite::$suite,
+            class: AppClass::$class,
+            template: $template,
+            input: $input,
+        }
+    };
+}
+
+/// Build the full 58-application registry.
+#[rustfmt::skip]
+pub fn all() -> Vec<Application> {
+    use AppClass::*;
+    use DataProfile as D;
+    use Template as T;
+    let _ = (MemoryIntensive, ComputeIntensive, Balanced); // bring variants in scope
+    vec![
+        // ---- PolyBench/GPU (12) -------------------------------------------------
+        app!("ATA", "atax",             Polybench, MemoryIntensive,  T::Streaming { compute: 0 },  D::SmoothF32 { scale: 2.0 }),
+        app!("BIC", "bicg",             Polybench, MemoryIntensive,  T::Streaming { compute: 0 },  D::SmoothF32 { scale: 1.0 }),
+        app!("GES", "gesummv",          Polybench, MemoryIntensive,  T::Streaming { compute: 2 },  D::SmoothF32 { scale: 4.0 }),
+        app!("MVT", "mvt",              Polybench, MemoryIntensive,  T::Stencil   { compute: 0 },  D::SmoothF32 { scale: 2.0 }),
+        app!("SYK", "syrk",             Polybench, MemoryIntensive,  T::Matmul    { k: 8 },        D::SmoothF32 { scale: 1.0 }),
+        app!("SYR", "syr2k",            Polybench, MemoryIntensive,  T::Matmul    { k: 8 },        D::SmoothF32 { scale: 3.0 }),
+        app!("COR", "correlation",      Polybench, MemoryIntensive,  T::Streaming { compute: 4 },  D::SmoothF32 { scale: 1.0 }),
+        app!("CON", "convolution-2d",   Polybench, MemoryIntensive,  T::Stencil   { compute: 2 },  D::SmoothF32 { scale: 2.0 }),
+        app!("2MM", "2mm",              Polybench, Balanced,         T::Matmul    { k: 16 },       D::SmoothF32 { scale: 1.0 }),
+        app!("3MM", "3mm",              Polybench, Balanced,         T::Matmul    { k: 16 },       D::SmoothF32 { scale: 1.0 }),
+        app!("GEM", "gemm",             Polybench, ComputeIntensive, T::Matmul    { k: 24 },       D::SmoothF32 { scale: 2.0 }),
+        app!("FDT", "fdtd-2d",          Polybench, MemoryIntensive,  T::Stencil   { compute: 0 },  D::SmoothF32 { scale: 1.0 }),
+        // ---- Rodinia (13) -------------------------------------------------------
+        app!("BFS", "bfs",              Rodinia,   MemoryIntensive,  T::Gather    { hops: 2 },     D::NarrowInt { max: 1 << 14 }),
+        app!("BPR", "backprop",         Rodinia,   Balanced,         T::Streaming { compute: 4 },  D::SmoothF32 { scale: 0.5 }),
+        app!("CFD", "cfd-euler3d",      Rodinia,   MemoryIntensive,  T::Stencil   { compute: 4 },  D::SmoothF32 { scale: 8.0 }),
+        app!("GAU", "gaussian",         Rodinia,   Balanced,         T::Matmul    { k: 12 },       D::SmoothF32 { scale: 1.0 }),
+        app!("HOT", "hotspot",          Rodinia,   Balanced,         T::Stencil   { compute: 2 },  D::SmoothF32 { scale: 80.0 }),
+        app!("KMN", "kmeans",           Rodinia,   Balanced,         T::Histogram { bins: 64 },    D::NarrowInt { max: 4096 }),
+        app!("LAV", "lavaMD",           Rodinia,   ComputeIntensive, T::ComputeBound { iters: 32 }, D::SmoothF32 { scale: 1.0 }),
+        app!("LUD", "lud",              Rodinia,   Balanced,         T::Matmul    { k: 12 },       D::SmoothF32 { scale: 1.0 }),
+        app!("NN",  "nn",               Rodinia,   MemoryIntensive,  T::Streaming { compute: 0 },  D::SmoothF32 { scale: 10.0 }),
+        app!("NW",  "needleman-wunsch", Rodinia,   Balanced,         T::Divergent { compute: 4 },  D::SignedSmall { magnitude: 32 }),
+        app!("PAT", "pathfinder",       Rodinia,   ComputeIntensive, T::Divergent { compute: 24 }, D::SignedSmall { magnitude: 20_000 }),
+        app!("PTF", "particlefilter",   Rodinia,   Balanced,         T::Divergent { compute: 8 },  D::SmoothF32 { scale: 1.0 }),
+        app!("SRA", "srad",             Rodinia,   MemoryIntensive,  T::Stencil   { compute: 2 },  D::SmoothF32 { scale: 0.25 }),
+        // ---- Parboil (9) --------------------------------------------------------
+        app!("CP",  "cutcp",            Parboil,   ComputeIntensive, T::ComputeBound { iters: 48 }, D::SmoothF32 { scale: 4.0 }),
+        app!("HIS", "histo",            Parboil,   Balanced,         T::Histogram { bins: 256 },   D::Pixels),
+        app!("LBM", "lbm",              Parboil,   MemoryIntensive,  T::Stencil   { compute: 2 },  D::SmoothF32 { scale: 1.0 }),
+        app!("MRI", "mri-q",            Parboil,   ComputeIntensive, T::ComputeBound { iters: 40 }, D::SmoothF32 { scale: 1.0 }),
+        app!("SAD", "sad",              Parboil,   Balanced,         T::Stencil   { compute: 1 },  D::Pixels),
+        app!("SGE", "sgemm",            Parboil,   ComputeIntensive, T::Matmul    { k: 32 },       D::SmoothF32 { scale: 1.0 }),
+        app!("SPV", "spmv",             Parboil,   MemoryIntensive,  T::Gather    { hops: 1 },     D::SmoothF32 { scale: 1.0 }),
+        app!("STN", "stencil",          Parboil,   MemoryIntensive,  T::Stencil   { compute: 0 },  D::SmoothF32 { scale: 1.0 }),
+        app!("TPC", "tpacf",            Parboil,   ComputeIntensive, T::ComputeBound { iters: 36 }, D::SmoothF32 { scale: 1.0 }),
+        // ---- CUDA SDK (14) ------------------------------------------------------
+        app!("BLA", "BlackScholes",     CudaSdk,   ComputeIntensive, T::ComputeBound { iters: 40 }, D::SmoothF32 { scale: 100.0 }),
+        app!("CNV", "convolutionSep",   CudaSdk,   Balanced,         T::Stencil   { compute: 2 },  D::Pixels),
+        app!("DXT", "dxtc",             CudaSdk,   ComputeIntensive, T::ComputeBound { iters: 28 }, D::PackedPixels),
+        app!("HST", "histogram64",      CudaSdk,   Balanced,         T::Histogram { bins: 64 },    D::Pixels),
+        app!("LIB", "libor",            CudaSdk,   ComputeIntensive, T::ComputeBound { iters: 44 }, D::SmoothF32 { scale: 0.05 }),
+        app!("MCO", "MonteCarlo",       CudaSdk,   ComputeIntensive, T::Divergent { compute: 24 }, D::SmoothF32 { scale: 1.0 }),
+        app!("OCE", "oceanFFT",         CudaSdk,   MemoryIntensive,  T::Streaming { compute: 2 },  D::SmoothF32 { scale: 0.5 }),
+        app!("IMD", "imageDenoising",   CudaSdk,   Balanced,         T::Texture   { taps: 8 },     D::Pixels),
+        app!("PAR", "particles",        CudaSdk,   ComputeIntensive, T::ComputeBound { iters: 32 }, D::SmoothF32 { scale: 1.0 }),
+        app!("RED", "reduction",        CudaSdk,   MemoryIntensive,  T::Reduction,                 D::ZeroHeavy { zero_pct: 30 }),
+        app!("SCN", "scan",             CudaSdk,   MemoryIntensive,  T::Reduction,                 D::NarrowInt { max: 256 }),
+        app!("SCP", "scalarProd",       CudaSdk,   MemoryIntensive,  T::Streaming { compute: 1 },  D::SmoothF32 { scale: 1.0 }),
+        app!("TRA", "transpose",        CudaSdk,   MemoryIntensive,  T::Strided   { stride: 33 },  D::NarrowInt { max: 1 << 16 }),
+        app!("VAD", "vectorAdd",        CudaSdk,   MemoryIntensive,  T::Streaming { compute: 0 },  D::ZeroHeavy { zero_pct: 40 }),
+        // ---- SHOC (6) -----------------------------------------------------------
+        app!("FFT", "fft",              Shoc,      Balanced,         T::Streaming { compute: 8 },  D::SmoothF32 { scale: 1.0 }),
+        app!("MD",  "md",               Shoc,      MemoryIntensive,  T::Gather    { hops: 1 },     D::SmoothF32 { scale: 2.0 }),
+        app!("MD5", "md5hash",          Shoc,      ComputeIntensive, T::ComputeBound { iters: 36 }, D::DenseRandom),
+        app!("RDX", "sort-radix",       Shoc,      Balanced,         T::Histogram { bins: 256 },   D::NarrowInt { max: 1 << 16 }),
+        app!("STE", "stencil2d",        Shoc,      MemoryIntensive,  T::Stencil   { compute: 0 },  D::SmoothF32 { scale: 1.0 }),
+        app!("TRD", "triad",            Shoc,      MemoryIntensive,  T::Streaming { compute: 0 },  D::SmoothF32 { scale: 3.0 }),
+        // ---- Lonestar (3) -------------------------------------------------------
+        app!("BHN", "barnes-hut",       Lonestar,  Balanced,         T::Gather    { hops: 2 },     D::SmoothF32 { scale: 1.0 }),
+        app!("DMR", "delaunay-refine",  Lonestar,  Balanced,         T::Divergent { compute: 8 },  D::NarrowInt { max: 1 << 12 }),
+        app!("SSP", "sssp",             Lonestar,  MemoryIntensive,  T::Gather    { hops: 2 },     D::NarrowInt { max: 1 << 14 }),
+        // ---- GPGPU-Sim distribution (1) ------------------------------------------
+        app!("NQU", "nqueens",          GpgpuSim,  ComputeIntensive, T::Divergent { compute: 20 }, D::DenseRandom),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_shape() {
+        let apps = all();
+        assert_eq!(apps.len(), 58);
+        // Memory-intensive and compute-intensive sets are both non-trivial.
+        let mem = apps
+            .iter()
+            .filter(|a| a.class == AppClass::MemoryIntensive)
+            .count();
+        let comp = apps
+            .iter()
+            .filter(|a| a.class == AppClass::ComputeIntensive)
+            .count();
+        assert!(mem >= 15, "{mem} memory-intensive apps");
+        assert!(comp >= 10, "{comp} compute-intensive apps");
+    }
+
+    #[test]
+    fn template_families_all_used() {
+        let apps = all();
+        let has = |f: fn(&Template) -> bool| apps.iter().any(|a| f(&a.template));
+        assert!(has(|t| matches!(t, Template::Streaming { .. })));
+        assert!(has(|t| matches!(t, Template::Stencil { .. })));
+        assert!(has(|t| matches!(t, Template::Gather { .. })));
+        assert!(has(|t| matches!(t, Template::Reduction)));
+        assert!(has(|t| matches!(t, Template::Matmul { .. })));
+        assert!(has(|t| matches!(t, Template::Texture { .. })));
+        assert!(has(|t| matches!(t, Template::Divergent { .. })));
+        assert!(has(|t| matches!(t, Template::ComputeBound { .. })));
+        assert!(has(|t| matches!(t, Template::Histogram { .. })));
+    }
+}

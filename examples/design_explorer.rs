@@ -1,0 +1,87 @@
+//! Design-space exploration: sweep the VS pivot lane, compare memory-cell
+//! kinds, and scan supply voltages — the knobs DESIGN.md calls out for
+//! ablation.
+//!
+//! Run with `cargo run --release --example design_explorer`.
+
+use bvf::bits::BitCounts;
+use bvf::circuit::{AccessEnergy, CellKind, ProcessNode, Supply};
+use bvf::coders::{lane_hamming_profile, optimal_pivot, VsCoder};
+use bvf::gpu::{CodingView, Gpu, GpuConfig};
+use bvf::workloads::Application;
+
+fn main() {
+    // --- 1. Pivot-lane sweep on real simulated traffic --------------------
+    // Collect warp samples by running one memory-heavy app and reusing its
+    // lane profile (the simulator samples register writes).
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 4;
+    let app = Application::by_code("OCE").expect("oceanFFT twin");
+    let mut gpu = Gpu::new(cfg, vec![CodingView::baseline()]);
+    let summary = app.run(&mut gpu);
+
+    println!("Lane-Hamming profile for {app} (lower = better pivot):");
+    for (lane, d) in summary.lane_profile.iter().enumerate() {
+        let marker = if lane == summary.optimal_lane {
+            " <= optimal"
+        } else if lane == 21 {
+            " <= paper's pivot"
+        } else {
+            ""
+        };
+        println!("  lane {lane:2}: {d:7.3}{marker}");
+    }
+
+    // --- 2. Pivot choice on synthetic similar warps ------------------------
+    let warps: Vec<[u32; 32]> = (0..200u32)
+        .map(|s| core::array::from_fn(|i| 0x4100_0000 | (s << 8) | (i as u32 & 7)))
+        .collect();
+    let profile = lane_hamming_profile(&warps);
+    println!(
+        "\nSynthetic warps: optimal pivot = lane {}, lane-0 distance {:.2}, lane-21 distance {:.2}",
+        optimal_pivot(&warps),
+        profile[0],
+        profile[21]
+    );
+    let gain: Vec<(usize, u64)> = [0usize, 21]
+        .iter()
+        .map(|&p| {
+            let vs = VsCoder::with_pivot(p);
+            let mut ones = 0;
+            for w in &warps {
+                let mut enc = *w;
+                vs.encode_warp(&mut enc);
+                ones += BitCounts::of_words(&enc).ones;
+            }
+            (p, ones)
+        })
+        .collect();
+    for (p, ones) in gain {
+        println!("  pivot {p:2}: {ones} encoded 1-bits");
+    }
+
+    // --- 3. Cell kinds and voltage scan ------------------------------------
+    println!("\nPer-bit access energy (fJ), 28nm, 128 cells/bitline:");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "cell", "volts", "read0", "read1", "write0", "write1"
+    );
+    for cell in CellKind::ALL {
+        for mv in [1200, 1000, 800, 600] {
+            let supply = Supply::new(f64::from(mv) / 1000.0);
+            if !cell.operates_at(supply) {
+                continue;
+            }
+            let e = AccessEnergy::of(cell, ProcessNode::N28, supply, 128);
+            println!(
+                "{:<10} {:>7.2}V {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                cell.to_string(),
+                supply.volts(),
+                e.read0,
+                e.read1,
+                e.write0,
+                e.write1
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Derive ISA-preference masks (the Table 2 procedure) from the assembled
+//! binaries of the 58 workloads, for every architecture generation, and
+//! show the Hamming-weight gain on the instruction stream.
+//!
+//! Run with `cargo run --release --example mask_extraction`.
+
+use bvf::coders::IsaCoder;
+use bvf::isa::{assemble_kernel, derive_mask_for, Architecture};
+use bvf::workloads::Application;
+
+fn main() {
+    let apps = Application::all();
+    let kernels: Vec<_> = apps.iter().map(|a| a.kernel()).collect();
+
+    println!(
+        "{:<8} {:>6} {:>20} {:>20} {:>10} {:>10}",
+        "arch", "cc", "published mask", "derived mask", "raw 1s%", "coded 1s%"
+    );
+    for arch in Architecture::ALL {
+        let derived = derive_mask_for(arch, &kernels);
+        let coder = IsaCoder::new(derived);
+
+        let mut total_bits = 0u64;
+        let mut raw_ones = 0u64;
+        let mut coded_ones = 0u64;
+        for k in &kernels {
+            for w in assemble_kernel(k, arch) {
+                total_bits += 64;
+                raw_ones += u64::from(w.count_ones());
+                coded_ones += u64::from(coder.encode_instr(w).count_ones());
+            }
+        }
+        println!(
+            "{:<8} {:>6} {:>#20x} {:>#20x} {:>9.1}% {:>9.1}%",
+            arch.to_string(),
+            arch.compute_capability(),
+            arch.published_mask(),
+            derived,
+            raw_ones as f64 / total_bits as f64 * 100.0,
+            coded_ones as f64 / total_bits as f64 * 100.0,
+        );
+    }
+
+    println!(
+        "\nThe published masks come from real NVIDIA binaries (paper Table 2); the\n\
+         derived masks apply the same per-bit-position majority procedure to this\n\
+         repository's synthetic encodings. Both are sparse (most positions prefer 0)\n\
+         and XNOR-coding with the derived mask flips the instruction stream from\n\
+         0-dominated to 1-dominated — the property the ISA coder exploits."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: encode data with the three BVF coders and see the
+//! Hamming-weight gain (and therefore BVF-SRAM energy saving) directly.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use bvf::bits::BitCounts;
+use bvf::circuit::{AccessEnergy, CellKind, ProcessNode, Supply};
+use bvf::coders::{Coder, IsaCoder, NvCoder, VsCoder};
+
+fn main() {
+    // --- Narrow-value coder on typical application data -------------------
+    // Small integers in wide words: the dominant GPU data pattern.
+    let data: Vec<u32> = (0..1024u32).map(|i| (i * 37) % 5000).collect();
+    let before = BitCounts::of_words(&data);
+
+    let nv = NvCoder;
+    let encoded: Vec<u32> = data.iter().map(|&w| nv.encode_u32(w)).collect();
+    let after = BitCounts::of_words(&encoded);
+
+    println!("NV coder on 1024 narrow integers:");
+    println!("  raw     : {before}");
+    println!("  encoded : {after}");
+
+    // Exact reconstruction is the contract.
+    let decoded: Vec<u32> = encoded.iter().map(|&w| nv.decode_u32(w)).collect();
+    assert_eq!(decoded, data);
+
+    // --- Value-similarity coder on a warp ---------------------------------
+    let vs = VsCoder::for_registers(); // pivot lane 21 per the paper
+    let mut lanes: [u32; 32] = core::array::from_fn(|i| 0x3f80_0000 + i as u32);
+    let raw = BitCounts::of_words(&lanes);
+    vs.encode_warp(&mut lanes);
+    let enc = BitCounts::of_words(&lanes);
+    println!("\nVS coder on one warp of similar floats:");
+    println!("  raw     : {raw}");
+    println!("  encoded : {enc}");
+    vs.decode_warp(&mut lanes);
+    assert_eq!(lanes[0], 0x3f80_0000);
+
+    // --- ISA coder on an instruction stream -------------------------------
+    let isa = IsaCoder::new(0x4818_0000_0007_0201); // paper's Pascal mask
+    let instrs: Vec<u64> = (0..256u64).map(|i| i << 12 | 0x0201).collect();
+    let raw: u64 = instrs.iter().map(|w| u64::from(w.count_ones())).sum();
+    let enc: u64 = instrs
+        .iter()
+        .map(|&w| u64::from(isa.encode_instr(w).count_ones()))
+        .sum();
+    println!("\nISA coder on 256 instruction words:");
+    println!("  raw ones     : {raw} / {}", 256 * 64);
+    println!("  encoded ones : {enc} / {}", 256 * 64);
+
+    // --- What the extra ones buy on BVF SRAM -------------------------------
+    let cell = AccessEnergy::of(CellKind::BvfSram8T, ProcessNode::N28, Supply::NOMINAL, 128);
+    let e_raw = cell.read_word(before.ones, before.zeros);
+    let e_enc = cell.read_word(after.ones, after.zeros);
+    println!("\nReading that buffer once from BVF-8T SRAM (28nm, 1.2V):");
+    println!("  raw     : {e_raw:10.1} fJ");
+    println!(
+        "  encoded : {e_enc:10.1} fJ  ({:.1}% saved)",
+        (1.0 - e_enc / e_raw) * 100.0
+    );
+}

@@ -1,0 +1,55 @@
+//! The paper's original methodology, end to end: dump the raw access trace
+//! of a kernel run, then re-derive all per-view statistics offline with the
+//! trace parser — and check they match the online pipeline bit for bit.
+//!
+//! Run with `cargo run --release --example trace_replay`.
+
+use bvf::coders::Unit;
+use bvf::gpu::trace::replay;
+use bvf::gpu::{CodingView, Gpu, GpuConfig};
+use bvf::workloads::Application;
+
+fn main() {
+    let app = Application::by_code("BFS").expect("bfs twin");
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 4;
+    let flit = cfg.noc_flit_bytes;
+    let views = CodingView::standard_set(0x2000_0000_1000_0001);
+
+    let mut gpu = Gpu::new(cfg, views.clone());
+    gpu.enable_trace_log();
+    let summary = app.run(&mut gpu);
+    let log = gpu.take_trace_log().expect("trace logging was enabled");
+
+    println!(
+        "{app}: {} dynamic instructions produced {} trace events",
+        summary.dynamic_instructions,
+        log.len()
+    );
+
+    // Offline parse — the multi-GB-dump pipeline of the paper's §5, here in
+    // memory.
+    let offline = replay(&log, views, flit);
+
+    let mut mismatches = 0;
+    for (online_view, offline_view) in summary.views.iter().zip(&offline) {
+        for unit in Unit::ALL {
+            if online_view.unit(unit) != offline_view.unit(unit) {
+                mismatches += 1;
+            }
+        }
+        if online_view.noc != offline_view.noc {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(mismatches, 0, "online and offline statistics diverged!");
+
+    let base = summary.view("baseline").unit(Unit::Reg);
+    let bvf = summary.view("bvf").unit(Unit::Reg);
+    println!(
+        "online == offline for every unit and view. REG read 1-fraction: \
+         baseline {:.1}% → bvf {:.1}%",
+        base.read_bits.one_fraction() * 100.0,
+        bvf.read_bits.one_fraction() * 100.0
+    );
+}

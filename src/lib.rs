@@ -1,0 +1,46 @@
+//! # bvf — Bit-Value-Favor for throughput processors
+//!
+//! A from-scratch Rust reproduction of *"BVF: Enabling Significant On-Chip
+//! Power Savings via Bit-Value-Favor for Throughput Processors"* (Li, Zhao,
+//! Song — MICRO-50, 2017).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`bits`] — Hamming weight/distance, toggle counting, bit profiling.
+//! * [`circuit`] — analytical 6T/8T/BVF-8T/eDRAM cell & array energy models.
+//! * [`isa`] — synthetic SASS-like GPU ISA, assembler, mask extraction.
+//! * [`coders`] — **the paper's contribution**: the NV, VS and ISA coders
+//!   and the BVF-space composition rules.
+//! * [`gpu`] — functional SIMT GPU simulator with full memory hierarchy.
+//! * [`power`] — GPU chip power model (GPUWattch substitute).
+//! * [`workloads`] — the 58 synthetic benchmark applications.
+//! * [`sim`] — experiment harness regenerating every paper table/figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bvf::coders::{Coder, NvCoder};
+//! use bvf::bits::BitCounts;
+//!
+//! // Encode a buffer of narrow positive integers with the NV coder.
+//! let data: Vec<u32> = (0..64).collect();
+//! let coder = NvCoder;
+//! let encoded: Vec<u32> = data.iter().map(|&w| coder.encode_u32(w)).collect();
+//!
+//! // The encoded stream carries far more 1-bits (cheaper on BVF SRAM)...
+//! assert!(BitCounts::of_words(&encoded).ones > BitCounts::of_words(&data).ones);
+//! // ...and decodes back exactly.
+//! let decoded: Vec<u32> = encoded.iter().map(|&w| coder.decode_u32(w)).collect();
+//! assert_eq!(decoded, data);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use bvf_bits as bits;
+pub use bvf_circuit as circuit;
+pub use bvf_core as coders;
+pub use bvf_gpu as gpu;
+pub use bvf_isa as isa;
+pub use bvf_power as power;
+pub use bvf_sim as sim;
+pub use bvf_workloads as workloads;

@@ -1,0 +1,121 @@
+//! End-to-end pipeline invariants: workload → simulator → power model.
+
+use std::sync::OnceLock;
+
+use bvf::circuit::{PState, ProcessNode};
+use bvf::coders::Unit;
+use bvf::gpu::{CodingView, Gpu, GpuConfig, TraceSummary};
+use bvf::power::{DesignPoint, EnergyReport, PowerModel};
+use bvf::workloads::Application;
+
+fn config() -> GpuConfig {
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 2;
+    cfg
+}
+
+fn summary() -> &'static TraceSummary {
+    static S: OnceLock<TraceSummary> = OnceLock::new();
+    S.get_or_init(|| {
+        let app = Application::by_code("OCE").expect("oceanFFT twin");
+        let mut gpu = Gpu::new(config(), CodingView::standard_set(0x2000_0000_1000_0001));
+        app.run(&mut gpu)
+    })
+}
+
+#[test]
+fn coding_views_change_bits_but_never_counts() {
+    let s = summary();
+    let base = s.view("baseline");
+    for name in ["nv", "vs", "isa", "bvf"] {
+        let v = s.view(name);
+        for unit in Unit::ALL {
+            let b = base.unit(unit);
+            let c = v.unit(unit);
+            assert_eq!(b.reads, c.reads, "{name}/{unit}: read count changed");
+            assert_eq!(b.writes, c.writes, "{name}/{unit}: write count changed");
+            assert_eq!(b.fills, c.fills, "{name}/{unit}: fill count changed");
+            assert_eq!(
+                b.read_bits.total(),
+                c.read_bits.total(),
+                "{name}/{unit}: bit volume changed"
+            );
+        }
+        assert_eq!(
+            base.noc.transfers, v.noc.transfers,
+            "{name}: NoC transfer count changed"
+        );
+    }
+}
+
+#[test]
+fn bvf_view_raises_one_fraction_on_every_trafficked_unit() {
+    let s = summary();
+    let base = s.view("baseline");
+    let bvf = s.view("bvf");
+    for unit in Unit::ALL {
+        let b = base.unit(unit);
+        let v = bvf.unit(unit);
+        if b.read_bits.total() == 0 {
+            continue;
+        }
+        assert!(
+            v.read_bits.one_fraction() > b.read_bits.one_fraction(),
+            "{unit}: {:.3} !> {:.3}",
+            v.read_bits.one_fraction(),
+            b.read_bits.one_fraction()
+        );
+    }
+}
+
+#[test]
+fn energy_report_is_consistent_across_pstates_and_nodes() {
+    let s = summary();
+    for node in ProcessNode::ALL {
+        let mut last_total = f64::MAX;
+        for pstate in PState::ALL {
+            let model = PowerModel::new(node, pstate, config());
+            let report =
+                EnergyReport::evaluate(&model, s, &[DesignPoint::baseline(), DesignPoint::bvf()]);
+            let base = report.point("baseline").total_fj();
+            let bvf = report.point("bvf").total_fj();
+            assert!(bvf < base, "{node} {pstate}: BVF must win");
+            assert!(
+                base < last_total,
+                "{node} {pstate}: lower P-state must use less energy"
+            );
+            last_total = base;
+            // Energy is finite and positive everywhere.
+            for p in &report.points {
+                assert!(p.total_fj().is_finite() && p.total_fj() > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn per_unit_energies_sum_to_the_totals() {
+    let s = summary();
+    let model = PowerModel::new(ProcessNode::N40, PState::P0, config());
+    let report = EnergyReport::evaluate(&model, s, &[DesignPoint::bvf()]);
+    let p = &report.points[0];
+    let unit_sum: f64 = Unit::ALL.iter().map(|&u| p.unit_fj(u)).sum();
+    assert!((unit_sum - p.bvf_units_fj()).abs() < 1e-6 * unit_sum);
+    let total = p.bvf_units_fj() + p.nonbvf_fj + p.overhead_fj;
+    assert!((total - p.total_fj()).abs() < 1e-6 * total);
+}
+
+#[test]
+fn every_application_runs_on_the_full_registry() {
+    // One pass over all 58 apps with a single view on a small GPU: every
+    // app must execute instructions and touch the register file.
+    let mut failures = Vec::new();
+    for app in Application::all() {
+        let mut gpu = Gpu::new(config(), vec![CodingView::baseline()]);
+        let s = app.run(&mut gpu);
+        if s.dynamic_instructions == 0 || s.view("baseline").unit(Unit::Reg).reads == 0 {
+            failures.push(app.code);
+        }
+    }
+    assert!(failures.is_empty(), "apps with no activity: {failures:?}");
+}

@@ -1,0 +1,167 @@
+//! Shape assertions against the paper's claims, on a reduced campaign
+//! (the full-suite numbers come from the `reproduce` binary and are
+//! recorded in `EXPERIMENTS.md`).
+
+use std::sync::OnceLock;
+
+use bvf::circuit::ProcessNode;
+use bvf::gpu::GpuConfig;
+use bvf::isa::Architecture;
+use bvf::sim::figures::{circuit, energy, overhead, profile, sensitivity};
+use bvf::sim::Campaign;
+use bvf::workloads::Application;
+
+fn campaign() -> &'static Campaign {
+    static C: OnceLock<Campaign> = OnceLock::new();
+    C.get_or_init(Campaign::smoke)
+}
+
+#[test]
+fn fig05_06_bvf_asymmetry_holds_on_both_nodes() {
+    for node in ProcessNode::ALL {
+        let t = circuit::fig05_06(node);
+        let r0 = t.get("BVF-8T@1.20V", "read0").unwrap();
+        let r1 = t.get("BVF-8T@1.20V", "read1").unwrap();
+        let w0 = t.get("BVF-8T@1.20V", "write0").unwrap();
+        let w1 = t.get("BVF-8T@1.20V", "write1").unwrap();
+        assert!(r1 < r0 && w1 < w0, "{node}: BVF asymmetry missing");
+        // §3.1: a write miss costs about double a conventional write.
+        let conv_w = t.get("Conv-8T@1.20V", "write0").unwrap();
+        assert!(
+            (1.8..=2.4).contains(&(w0 / conv_w)),
+            "{node}: {}",
+            w0 / conv_w
+        );
+    }
+}
+
+#[test]
+fn fig08_09_narrow_values_dominate() {
+    let f8 = profile::fig08(campaign());
+    // The paper measures ≈9 leading sign-equal bits on average.
+    let lead = f8.get("AVG", "leading bits").unwrap();
+    assert!((6.0..=20.0).contains(&lead), "avg leading bits {lead}");
+
+    let f9 = profile::fig09(campaign());
+    // ≈22 of 32 bits are zero on average; zeros must dominate.
+    let zeros = f9.get("AVG", "zero bits").unwrap();
+    assert!(zeros > 16.0, "zero bits per word {zeros} do not dominate");
+}
+
+#[test]
+fn fig11_middle_lanes_beat_edge_lanes() {
+    let t = profile::fig11(campaign());
+    let d = |lane: usize| t.rows[lane].values[0];
+    let middle_best = (8..24).map(d).fold(f64::MAX, f64::min);
+    assert!(
+        middle_best <= d(0) && middle_best <= d(31),
+        "middle lanes must have the smallest mean Hamming distance"
+    );
+}
+
+#[test]
+fn fig14_and_table2_masks_are_sparse_and_distinct() {
+    let apps = Application::all();
+    let t = profile::fig14(&apps, Architecture::Pascal);
+    let below_half = t.rows.iter().filter(|r| r.values[0] < 0.5).count();
+    assert!(
+        below_half > 32,
+        "most instruction bit positions must prefer 0"
+    );
+
+    let kernels: Vec<_> = apps.iter().map(|a| a.kernel()).collect();
+    let masks: Vec<u64> = Architecture::ALL
+        .iter()
+        .map(|&a| bvf::isa::derive_mask_for(a, &kernels))
+        .collect();
+    assert!(
+        masks.windows(2).any(|w| w[0] != w[1]),
+        "masks must change across ISA generations"
+    );
+}
+
+#[test]
+fn fig16_component_reductions_have_the_papers_shape() {
+    let t = energy::fig16_17(campaign(), ProcessNode::N28);
+    // Data coders cut the register file substantially.
+    assert!(t.get("REG", "bvf").unwrap() < 0.75);
+    // NV covers SME; VS does not (§4.2.2-C).
+    assert!(t.get("SME", "nv").unwrap() < t.get("SME", "vs").unwrap());
+    // Only ISA helps the instruction cache.
+    assert!(t.get("L1I", "isa").unwrap() < t.get("L1I", "nv").unwrap());
+    // The combined design is at least as good as each coder on its units.
+    for unit in ["REG", "L1D", "L2"] {
+        let bvf = t.get(unit, "bvf").unwrap();
+        let nv = t.get(unit, "nv").unwrap();
+        assert!(bvf <= nv + 0.05, "{unit}: bvf {bvf} vs nv {nv}");
+    }
+}
+
+#[test]
+fn fig18_19_chip_reductions_in_band_and_ordered() {
+    let t28 = energy::fig18_19(campaign(), ProcessNode::N28);
+    let t40 = energy::fig18_19(campaign(), ProcessNode::N40);
+    let r28 = t28.get("AVG", "chip red %").unwrap();
+    let r40 = t40.get("AVG", "chip red %").unwrap();
+    // Paper: 21% (28nm) and 24% (40nm). Allow a generous band on the
+    // reduced campaign; the full suite lands within ±2 points.
+    assert!((10.0..=35.0).contains(&r28), "28nm chip reduction {r28}%");
+    assert!((12.0..=38.0).contains(&r40), "40nm chip reduction {r40}%");
+    assert!(
+        r40 > r28,
+        "40nm must save more than 28nm (paper: 24% vs 21%)"
+    );
+
+    // Memory-intensive beats compute-intensive (Fig. 18 narrative).
+    let mem = t40.get("BFS", "chip red %").unwrap();
+    let comp = t40.get("BLA", "chip red %").unwrap();
+    assert!(mem > comp, "BFS {mem}% vs BLA {comp}%");
+}
+
+#[test]
+fn fig20_dvfs_keeps_the_benefit() {
+    let t = sensitivity::fig20(campaign());
+    for row in &t.rows {
+        let red = row.values[2];
+        assert!(
+            (5.0..=45.0).contains(&red),
+            "{}: reduction {red}% lost under DVFS",
+            row.label
+        );
+    }
+}
+
+#[test]
+fn fig23_cell_ordering_matches_paper() {
+    let t = sensitivity::fig23(campaign());
+    for col in ["28nm", "40nm"] {
+        let sixt = t.get("6T @1.2V", col).unwrap();
+        let conv = t.get("Conv-8T @1.2V", col).unwrap();
+        let bvf = t.get("BVF-8T @1.2V", col).unwrap();
+        let bvf_nt = t.get("BVF-8T @0.6V", col).unwrap();
+        assert!(bvf < conv && conv < sixt, "{col}: ordering broken");
+        assert!(bvf_nt < bvf, "{col}: near-threshold must add savings");
+        // Paper: BVF-8T saves ~31.6%/32.7% of the chip vs 6T at 1.2V.
+        let saving = (1.0 - bvf / sixt) * 100.0;
+        assert!(
+            (18.0..=45.0).contains(&saving),
+            "{col}: vs-6T saving {saving}%"
+        );
+    }
+}
+
+#[test]
+fn overhead_is_negligible() {
+    let t = overhead::overhead_table(&GpuConfig::baseline());
+    for node in ["28nm", "40nm"] {
+        let pct = t.get(node, "die area %").unwrap();
+        assert!(pct < 0.15, "{node}: coder area {pct}% of the die");
+    }
+}
+
+#[test]
+fn six_t_bvf_fails_beyond_16_cells() {
+    let t = circuit::table_6t_stability();
+    assert_eq!(t.get("16 cells", "28nm flips"), Some(0.0));
+    assert_eq!(t.get("17 cells", "28nm flips"), Some(1.0));
+}

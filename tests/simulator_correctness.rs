@@ -1,0 +1,262 @@
+//! Functional correctness of the SIMT simulator against CPU references:
+//! if the simulator computed wrong values, every bit statistic downstream
+//! would be meaningless.
+
+use bvf::gpu::{CodingView, Gpu, GpuConfig};
+use bvf::isa::ir::{
+    BufferId, CmpOp, Cond, Instr, Kernel, LaunchConfig, Op, Operand, Special, Stmt,
+};
+
+fn gpu() -> Gpu {
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 3;
+    Gpu::new(cfg, vec![CodingView::baseline()])
+}
+
+#[test]
+fn saxpy_matches_cpu() {
+    // y[i] = a*x[i] + y[i] over f32 data.
+    let a = 2.5f32;
+    let mut k = Kernel::new("saxpy", 6);
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        0,
+        Operand::Special(Special::GlobalTid),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        1,
+        Operand::Reg(0),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(1)),
+        2,
+        Operand::Reg(0),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op4(
+        Op::FFma,
+        3,
+        Operand::Reg(1),
+        Operand::imm_f32(a),
+        Operand::Reg(2),
+    ));
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(1)),
+        0,
+        Operand::Reg(0),
+        Operand::Imm(0),
+        Operand::Reg(3),
+    ));
+
+    let n = 1024usize;
+    let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+    let y: Vec<f32> = (0..n).map(|i| 100.0 - i as f32).collect();
+    let mut g = gpu();
+    g.memory_mut()
+        .add_buffer(BufferId(0), x.iter().map(|v| v.to_bits()).collect());
+    g.memory_mut()
+        .add_buffer(BufferId(1), y.iter().map(|v| v.to_bits()).collect());
+    g.launch(&k, LaunchConfig::new(32, 32));
+
+    let out = g.memory().buffer(BufferId(1)).unwrap();
+    for i in 0..n {
+        let expected = x[i].mul_add(a, y[i]);
+        assert_eq!(f32::from_bits(out[i]), expected, "element {i}");
+    }
+}
+
+#[test]
+fn block_sum_reduction_matches_cpu() {
+    // Per-CTA shared-memory tree reduction over 128 elements.
+    let mut k = Kernel::new("block_sum", 8);
+    k.shared_words = 128;
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        0,
+        Operand::Special(Special::GlobalTid),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        5,
+        Operand::Special(Special::TidX),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        1,
+        Operand::Reg(0),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op4(
+        Op::StShared,
+        0,
+        Operand::Reg(5),
+        Operand::Imm(0),
+        Operand::Reg(1),
+    ));
+    k.body.push(Stmt::I(Instr::new(
+        Op::Bar,
+        0,
+        Operand::Imm(0),
+        Operand::Imm(0),
+    )));
+    for stride in [64u32, 32, 16, 8, 4, 2, 1] {
+        k.body.push(Stmt::If {
+            cond: Cond {
+                a: Operand::Reg(5),
+                op: CmpOp::Lt,
+                b: Operand::Imm(stride),
+            },
+            then: vec![
+                Stmt::op3(Op::IAdd, 6, Operand::Reg(5), Operand::Imm(stride)),
+                Stmt::op3(Op::LdShared, 2, Operand::Reg(6), Operand::Imm(0)),
+                Stmt::op3(Op::LdShared, 3, Operand::Reg(5), Operand::Imm(0)),
+                Stmt::op3(Op::IAdd, 3, Operand::Reg(3), Operand::Reg(2)),
+                Stmt::op4(
+                    Op::StShared,
+                    0,
+                    Operand::Reg(5),
+                    Operand::Imm(0),
+                    Operand::Reg(3),
+                ),
+            ],
+            els: vec![],
+        });
+        k.body.push(Stmt::I(Instr::new(
+            Op::Bar,
+            0,
+            Operand::Imm(0),
+            Operand::Imm(0),
+        )));
+    }
+    k.body.push(Stmt::If {
+        cond: Cond {
+            a: Operand::Reg(5),
+            op: CmpOp::Eq,
+            b: Operand::Imm(0),
+        },
+        then: vec![
+            Stmt::op3(Op::LdShared, 1, Operand::Imm(0), Operand::Imm(0)),
+            Stmt::op4(
+                Op::StGlobal(BufferId(1)),
+                0,
+                Operand::Special(Special::CtaIdX),
+                Operand::Imm(0),
+                Operand::Reg(1),
+            ),
+        ],
+        els: vec![],
+    });
+
+    let ctas = 6u32;
+    let n = (ctas * 128) as usize;
+    let input: Vec<u32> = (0..n as u32).map(|i| i * 3 + 1).collect();
+    let mut g = gpu();
+    g.memory_mut().add_buffer(BufferId(0), input.clone());
+    g.memory_mut()
+        .add_buffer(BufferId(1), vec![0; ctas as usize]);
+    g.launch(&k, LaunchConfig::new(ctas, 128));
+
+    let out = g.memory().buffer(BufferId(1)).unwrap();
+    for cta in 0..ctas as usize {
+        let expected: u32 = input[cta * 128..(cta + 1) * 128]
+            .iter()
+            .fold(0u32, |a, &b| a.wrapping_add(b));
+        assert_eq!(out[cta], expected, "CTA {cta}");
+    }
+}
+
+#[test]
+fn divergent_abs_matches_cpu() {
+    // out[i] = |in[i]| via a divergent branch on the sign.
+    let mut k = Kernel::new("abs", 6);
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        0,
+        Operand::Special(Special::GlobalTid),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        1,
+        Operand::Reg(0),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::If {
+        cond: Cond {
+            a: Operand::Reg(1),
+            op: CmpOp::Lt,
+            b: Operand::Imm(0),
+        },
+        then: vec![Stmt::op3(Op::ISub, 1, Operand::Imm(0), Operand::Reg(1))],
+        els: vec![],
+    });
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(1)),
+        0,
+        Operand::Reg(0),
+        Operand::Imm(0),
+        Operand::Reg(1),
+    ));
+
+    let n = 512usize;
+    let input: Vec<u32> = (0..n).map(|i| (i as i32 - 256) as u32).collect();
+    let mut g = gpu();
+    g.memory_mut().add_buffer(BufferId(0), input.clone());
+    g.memory_mut().add_buffer(BufferId(1), vec![0; n]);
+    g.launch(&k, LaunchConfig::new(16, 32));
+
+    let out = g.memory().buffer(BufferId(1)).unwrap();
+    for i in 0..n {
+        assert_eq!(out[i] as i32, (input[i] as i32).abs(), "element {i}");
+    }
+}
+
+#[test]
+fn gather_follows_indices() {
+    // out[i] = data[idx[i]]
+    let mut k = Kernel::new("gather1", 6);
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        0,
+        Operand::Special(Special::GlobalTid),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        1,
+        Operand::Reg(0),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(1)),
+        2,
+        Operand::Reg(1),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(2)),
+        0,
+        Operand::Reg(0),
+        Operand::Imm(0),
+        Operand::Reg(2),
+    ));
+
+    let n = 256usize;
+    let idx: Vec<u32> = (0..n as u32).map(|i| (i * 37) % n as u32).collect();
+    let data: Vec<u32> = (0..n as u32).map(|i| 10_000 + i).collect();
+    let mut g = gpu();
+    g.memory_mut().add_buffer(BufferId(0), idx.clone());
+    g.memory_mut().add_buffer(BufferId(1), data.clone());
+    g.memory_mut().add_buffer(BufferId(2), vec![0; n]);
+    g.launch(&k, LaunchConfig::new(8, 32));
+
+    let out = g.memory().buffer(BufferId(2)).unwrap();
+    for i in 0..n {
+        assert_eq!(out[i], data[idx[i] as usize], "element {i}");
+    }
+}

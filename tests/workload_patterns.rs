@@ -1,0 +1,123 @@
+//! Each kernel-template family must exercise the hardware units its real
+//! counterparts exercise — otherwise the per-unit energy attribution of
+//! Figs. 16/17 would be built on the wrong traffic.
+
+use bvf::coders::Unit;
+use bvf::gpu::{CodingView, Gpu, GpuConfig, TraceSummary};
+use bvf::workloads::Application;
+
+fn run(code: &str) -> TraceSummary {
+    let app = Application::by_code(code).unwrap_or_else(|| panic!("missing app {code}"));
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 2;
+    let mut gpu = Gpu::new(cfg, vec![CodingView::baseline()]);
+    app.run(&mut gpu)
+}
+
+#[test]
+fn texture_app_uses_l1t_and_l1c() {
+    let s = run("IMD"); // imageDenoising: texture filter template
+    let v = s.view("baseline");
+    assert!(v.unit(Unit::L1t).reads > 0, "texture cache untouched");
+    assert!(v.unit(Unit::L1c).reads > 0, "constant cache untouched");
+}
+
+#[test]
+fn histogram_app_uses_shared_memory() {
+    let s = run("HST");
+    let v = s.view("baseline");
+    assert!(v.unit(Unit::Sme).reads > 0);
+    assert!(v.unit(Unit::Sme).writes > 0);
+    assert!(s.smem_conflict_cycles > 0, "histogram must bank-conflict");
+}
+
+#[test]
+fn reduction_app_synchronizes_and_spares_the_pivot() {
+    let s = run("RED");
+    let v = s.view("baseline");
+    assert!(v.unit(Unit::Sme).accesses() > 0);
+    // Tree-reduction masks are prefixes (`tid < stride`), which never
+    // include pivot lane 21 once the stride drops below 32 — so VS needs no
+    // dummy movs here. This is the §4.2 observation from the other side:
+    // divergence concentrates on the *leading* lanes, which is precisely
+    // why a high middle lane survives as the pivot.
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 2;
+    let mut gpu = Gpu::new(cfg, CodingView::standard_set(0));
+    let app = Application::by_code("RED").unwrap();
+    let s2 = app.run(&mut gpu);
+    assert_eq!(s2.view("bvf").dummy_movs, 0);
+}
+
+#[test]
+fn strided_app_is_memory_divergent() {
+    // TRA (transpose twin) strides by 33 words: every active lane touches a
+    // different line, so L1D accesses per instruction far exceed the
+    // coalesced streaming case.
+    let strided = run("TRA");
+    let streaming = run("VAD");
+    let per_instr = |s: &TraceSummary| {
+        s.view("baseline").unit(Unit::L1d).accesses() as f64 / s.dynamic_instructions as f64
+    };
+    assert!(
+        per_instr(&strided) > 3.0 * per_instr(&streaming),
+        "strided {} vs streaming {}",
+        per_instr(&strided),
+        per_instr(&streaming)
+    );
+}
+
+#[test]
+fn gather_app_misses_more_than_stencil() {
+    let gather = run("BFS");
+    let stencil = run("STN");
+    assert!(
+        gather.l1d_hit_rate < stencil.l1d_hit_rate,
+        "gather {} vs stencil {}",
+        gather.l1d_hit_rate,
+        stencil.l1d_hit_rate
+    );
+}
+
+#[test]
+fn compute_bound_app_touches_memory_rarely() {
+    let compute = run("CP");
+    let memory = run("TRD");
+    let intensity = |s: &TraceSummary| {
+        s.view("baseline").unit(Unit::L1d).accesses() as f64 / s.dynamic_instructions as f64
+    };
+    assert!(intensity(&compute) < 0.25 * intensity(&memory));
+}
+
+#[test]
+fn memory_intensive_apps_produce_dram_traffic() {
+    let s = run("OCE");
+    assert!(s.dram.requests > 0, "no DRAM traffic from a streaming app");
+    assert!(s.dram.busy_cycles > 0);
+    // Streaming fills are sequential; even with lines striped across six
+    // channels (≤3 same-row lines per channel per 2KB row) the row-buffer
+    // hit rate stays well above the irregular-gather case.
+    assert!(
+        s.dram.row_hit_rate() > 0.3,
+        "streaming row-hit rate {}",
+        s.dram.row_hit_rate()
+    );
+    let gather = run("BFS");
+    assert!(
+        s.dram.row_hit_rate() > gather.dram.row_hit_rate(),
+        "streaming ({:.2}) must beat gather ({:.2}) on row hits",
+        s.dram.row_hit_rate(),
+        gather.dram.row_hit_rate()
+    );
+}
+
+#[test]
+fn divergent_app_injects_dummy_movs_under_vs() {
+    let app = Application::by_code("NQU").unwrap();
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = 2;
+    let mut gpu = Gpu::new(cfg, CodingView::standard_set(0));
+    let s = app.run(&mut gpu);
+    assert!(s.view("bvf").dummy_movs > 0);
+    assert_eq!(s.view("baseline").dummy_movs, 0);
+}
