@@ -12,7 +12,7 @@ use bvf_circuit::ProcessNode;
 use bvf_gpu::{GpuConfig, SchedulerKind};
 use bvf_isa::Architecture;
 use bvf_sim::figures::{circuit, energy, overhead, profile, sensitivity};
-use bvf_sim::Campaign;
+use bvf_sim::{Campaign, Parallelism};
 use bvf_workloads::Application;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -35,13 +35,13 @@ fn bench_apps() -> Vec<Application> {
 
 fn main_campaign() -> &'static Campaign {
     static C: OnceLock<Campaign> = OnceLock::new();
-    C.get_or_init(|| Campaign::run(bench_config(), &bench_apps()))
+    C.get_or_init(|| Campaign::run(bench_config(), &bench_apps(), Parallelism::Auto))
 }
 
 fn sched_campaign(kind: SchedulerKind) -> Campaign {
     let mut cfg = bench_config();
     cfg.scheduler = kind;
-    Campaign::run(cfg, &bench_apps())
+    Campaign::run(cfg, &bench_apps(), Parallelism::Auto)
 }
 
 fn print_once(table: &bvf_sim::Table) {
@@ -147,7 +147,7 @@ fn sensitivities(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = GpuConfig::tesla_k80();
             cfg.sms = 4;
-            let k80 = Campaign::run(cfg, &bench_apps());
+            let k80 = Campaign::run(cfg, &bench_apps(), Parallelism::Auto);
             sensitivity::fig22(&[("GTX-480", campaign), ("Tesla-K80", &k80)])
         })
     });
@@ -155,8 +155,8 @@ fn sensitivities(c: &mut Criterion) {
     p100.sms = 4;
     let mut k80 = GpuConfig::tesla_k80();
     k80.sms = 4;
-    let cp100 = Campaign::run(p100, &bench_apps());
-    let ck80 = Campaign::run(k80, &bench_apps());
+    let cp100 = Campaign::run(p100, &bench_apps(), Parallelism::Auto);
+    let ck80 = Campaign::run(k80, &bench_apps(), Parallelism::Auto);
     print_once(&sensitivity::fig22(&[
         ("GTX-480", campaign),
         ("Tesla-P100", &cp100),

@@ -820,6 +820,19 @@ mod tests {
     use super::*;
     use bvf_isa::ir::{BufferId, CmpOp, Cond, Operand, Special, Stmt};
 
+    /// Compile-time audit: the campaign engine in `bvf-sim` runs one `Gpu`
+    /// per worker thread, so the simulator types must stay `Send + Sync`
+    /// (no `Rc`, `RefCell`, or raw pointers may creep in).
+    #[test]
+    fn simulator_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gpu>();
+        assert_send_sync::<crate::GpuConfig>();
+        assert_send_sync::<crate::CodingView>();
+        assert_send_sync::<TraceSummary>();
+        assert_send_sync::<crate::GlobalMemory>();
+    }
+
     fn vecadd_kernel() -> Kernel {
         let mut k = Kernel::new("vecadd", 6);
         k.body.push(Stmt::op3(

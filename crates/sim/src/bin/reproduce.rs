@@ -3,19 +3,23 @@
 //! ```text
 //! cargo run --release -p bvf-sim --bin reproduce                    # everything
 //! cargo run --release -p bvf-sim --bin reproduce -- quick           # smoke subset
+//! cargo run --release -p bvf-sim --bin reproduce -- --jobs 8        # worker count
+//! cargo run --release -p bvf-sim --bin reproduce -- --jobs 1        # sequential
 //! cargo run --release -p bvf-sim --bin reproduce -- --export DIR    # also write
 //!                                                   # one .csv + .json per exhibit
 //! ```
 //!
 //! The full run executes five campaigns over the 58 applications (baseline,
 //! two alternative schedulers, two alternative SRAM-capacity configurations)
-//! and prints each exhibit as a fixed-width table. The output of this binary
+//! and prints each exhibit as a fixed-width table. Campaigns fan out over a
+//! worker pool — one worker per core unless `--jobs N` pins the count — and
+//! each prints a `campaign:` run report to stderr. The output of this binary
 //! is the source of `EXPERIMENTS.md`.
 
 use bvf_circuit::ProcessNode;
 use bvf_gpu::{GpuConfig, SchedulerKind};
 use bvf_sim::figures::{ablation, circuit, energy, overhead, profile, sensitivity};
-use bvf_sim::Campaign;
+use bvf_sim::{Campaign, Parallelism};
 use bvf_workloads::Application;
 
 fn main() {
@@ -26,6 +30,23 @@ fn main() {
         .position(|a| a == "--export")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let par = match args.iter().position(|a| a == "--jobs") {
+        None => Parallelism::Auto,
+        Some(i) => {
+            let n: usize = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive integer (e.g. --jobs 8)");
+                    std::process::exit(2);
+                });
+            if n == 1 {
+                Parallelism::Sequential
+            } else {
+                Parallelism::Fixed(n)
+            }
+        }
+    };
     if let Some(dir) = &export_dir {
         std::fs::create_dir_all(dir).expect("create export directory");
     }
@@ -56,11 +77,11 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let main_campaign = if quick {
-        Campaign::smoke()
+        Campaign::smoke_with(par)
     } else {
-        Campaign::full_baseline()
+        Campaign::full_baseline(par)
     };
-    eprintln!("main campaign done in {:?}", t0.elapsed());
+    eprintln!("{}", main_campaign.run_report());
 
     emit(&profile::fig08(&main_campaign));
     emit(&profile::fig09(&main_campaign));
@@ -93,7 +114,9 @@ fn main() {
             GpuConfig::baseline()
         };
         cfg.scheduler = kind;
-        Campaign::run(cfg, &apps_for("sched"))
+        let c = Campaign::run(cfg, &apps_for("sched"), par);
+        eprintln!("{}", c.run_report());
+        c
     };
     eprintln!("running scheduler campaigns...");
     let gto = sched_campaign(SchedulerKind::Gto);
@@ -111,7 +134,9 @@ fn main() {
         if quick {
             cfg.sms = cfg.sms.min(2);
         }
-        Campaign::run(cfg, &apps_for("capacity"))
+        let c = Campaign::run(cfg, &apps_for("capacity"), par);
+        eprintln!("{}", c.run_report());
+        c
     };
     let c480 = capacity_campaign(GpuConfig::gtx480());
     let cp100 = capacity_campaign(GpuConfig::tesla_p100());
@@ -137,7 +162,7 @@ fn main() {
     if quick {
         pivot_cfg.sms = 2;
     }
-    emit(&ablation::pivot_ablation(&pivot_cfg, &pivot_apps));
+    emit(&ablation::pivot_ablation(&pivot_cfg, &pivot_apps, par));
     emit(&ablation::edram_substrate(&main_campaign, ProcessNode::N40));
 
     eprintln!("all exhibits regenerated in {:?}", t0.elapsed());

@@ -1,21 +1,113 @@
 //! A campaign: one full simulation pass over a set of applications.
+//!
+//! Applications are independent — each runs on a fresh [`Gpu`] — so the
+//! campaign fans them out across a scoped-thread worker pool (see
+//! [`parallel_map`]) controlled by a [`Parallelism`] knob. Results are
+//! always assembled in registry order and are bit-identical across worker
+//! counts: the only shared state is the work-queue cursor and the output
+//! slots, never the simulators.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use bvf_gpu::{CodingView, Gpu, GpuConfig, TraceSummary};
 use bvf_isa::{derive_mask_for, Architecture};
 use bvf_workloads::Application;
 
+/// How many workers a campaign (or any [`parallel_map`]) may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker per available hardware thread (capped at the item count).
+    Auto,
+    /// Exactly `n` workers (clamped to `1..=items`).
+    Fixed(usize),
+    /// Single-threaded execution on the calling thread.
+    Sequential,
+}
+
+impl Parallelism {
+    /// Resolve to a concrete worker count for `items` work items.
+    pub fn workers(self, items: usize) -> usize {
+        let cap = items.max(1);
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => n.clamp(1, cap),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(cap),
+        }
+    }
+}
+
+/// Apply `f` to every item of `items` on a pool of scoped worker threads,
+/// returning outputs in input order regardless of completion order.
+///
+/// Workers pull indices from a shared atomic cursor (a work queue over the
+/// item list, so an expensive item never stalls the rest) and write each
+/// output into its input's dedicated slot. With [`Parallelism::Sequential`]
+/// (or one worker) this degenerates to a plain in-order map on the calling
+/// thread — no threads are spawned.
+pub fn parallel_map<T, R, F>(items: &[T], par: Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = par.workers(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                *slots[i].lock().expect("worker panicked holding a slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panicked holding a slot")
+                .expect("every slot is filled once the scope joins")
+        })
+        .collect()
+}
+
 /// One application's simulation result.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct AppResult {
     /// The application executed.
     pub app: Application,
     /// Its trace summary (all coding views).
     pub summary: TraceSummary,
+    /// Wall-clock time this application's simulation took on its worker.
+    pub wall: Duration,
+    /// Simulator throughput: dynamic instructions per wall-clock second.
+    pub instructions_per_second: f64,
+}
+
+/// Equality ignores the timing fields: two results are the same result if
+/// they simulated the same application to the same summary, however long
+/// either run took. This is what lets the determinism tests compare
+/// sequential and parallel campaigns directly.
+impl PartialEq for AppResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.app == other.app && self.summary == other.summary
+    }
 }
 
 /// A full simulation pass: configuration, derived ISA mask, and one result
 /// per application.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Campaign {
     /// The GPU configuration simulated.
     pub config: GpuConfig,
@@ -26,6 +118,23 @@ pub struct Campaign {
     pub isa_mask: u64,
     /// Per-application results, in registry order.
     pub results: Vec<AppResult>,
+    /// Total wall-clock time of the simulation fan-out.
+    pub wall: Duration,
+    /// Worker count the run actually used.
+    pub workers: usize,
+    /// Application code -> index in `results`, for O(1) lookup.
+    index: HashMap<&'static str, usize>,
+}
+
+/// Equality ignores wall time and worker count (see [`AppResult`]'s
+/// `PartialEq`): a campaign is its configuration plus its results.
+impl PartialEq for Campaign {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.arch == other.arch
+            && self.isa_mask == other.isa_mask
+            && self.results == other.results
+    }
 }
 
 impl Campaign {
@@ -42,8 +151,8 @@ impl Campaign {
     /// # Panics
     ///
     /// Panics if `apps` is empty.
-    pub fn run(config: GpuConfig, apps: &[Application]) -> Self {
-        Self::run_with_arch(config, apps, Architecture::Pascal)
+    pub fn run(config: GpuConfig, apps: &[Application], par: Parallelism) -> Self {
+        Self::run_with_arch(config, apps, Architecture::Pascal, par)
     }
 
     /// [`Campaign::run`] with an explicit ISA generation.
@@ -51,45 +160,89 @@ impl Campaign {
     /// # Panics
     ///
     /// Panics if `apps` is empty.
-    pub fn run_with_arch(config: GpuConfig, apps: &[Application], arch: Architecture) -> Self {
+    pub fn run_with_arch(
+        config: GpuConfig,
+        apps: &[Application],
+        arch: Architecture,
+        par: Parallelism,
+    ) -> Self {
         assert!(!apps.is_empty(), "campaign needs at least one application");
         let isa_mask = Self::derive_isa_mask(arch, apps);
         let views = CodingView::standard_set(isa_mask);
-        let results = apps
-            .iter()
-            .map(|app| {
-                let mut gpu = Gpu::new(config.clone(), views.clone());
-                gpu.set_architecture(arch);
-                let summary = app.run(&mut gpu);
-                AppResult {
-                    app: app.clone(),
-                    summary,
-                }
-            })
-            .collect();
+        let workers = par.workers(apps.len());
+        let t0 = Instant::now();
+        let results = parallel_map(apps, par, |app| {
+            Self::simulate_one(&config, &views, arch, app)
+        });
+        let wall = t0.elapsed();
+        let index = Self::build_index(&results);
         Self {
             config,
             arch,
             isa_mask,
             results,
+            wall,
+            workers,
+            index,
         }
     }
 
+    /// Simulate one application on a fresh GPU, timing it.
+    fn simulate_one(
+        config: &GpuConfig,
+        views: &[CodingView],
+        arch: Architecture,
+        app: &Application,
+    ) -> AppResult {
+        let t0 = Instant::now();
+        let mut gpu = Gpu::new(config.clone(), views.to_vec());
+        gpu.set_architecture(arch);
+        let summary = app.run(&mut gpu);
+        let wall = t0.elapsed();
+        let instructions_per_second =
+            summary.dynamic_instructions as f64 / wall.as_secs_f64().max(1e-9);
+        AppResult {
+            app: app.clone(),
+            summary,
+            wall,
+            instructions_per_second,
+        }
+    }
+
+    fn build_index(results: &[AppResult]) -> HashMap<&'static str, usize> {
+        results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.app.code, i))
+            .collect()
+    }
+
     /// The full 58-application campaign on the Table 3 baseline.
-    pub fn full_baseline() -> Self {
-        Self::run(GpuConfig::baseline(), &Application::all())
+    pub fn full_baseline(par: Parallelism) -> Self {
+        Self::run(GpuConfig::baseline(), &Application::all(), par)
     }
 
     /// A reduced campaign for fast tests: a representative subset on a
     /// 2-SM GPU.
     pub fn smoke() -> Self {
+        Self::smoke_with(Parallelism::Auto)
+    }
+
+    /// [`Campaign::smoke`] with an explicit parallelism knob (the
+    /// determinism tests compare worker counts on this workload).
+    pub fn smoke_with(par: Parallelism) -> Self {
         let mut config = GpuConfig::baseline();
         config.sms = 2;
         let apps: Vec<Application> = ["VAD", "BFS", "BLA", "IMD", "RED", "SGE"]
             .iter()
             .map(|c| Application::by_code(c).expect("smoke app"))
             .collect();
-        Self::run(config, &apps)
+        Self::run(config, &apps, par)
+    }
+
+    /// Result for an application code, if the campaign ran it.
+    pub fn try_result(&self, code: &str) -> Option<&AppResult> {
+        self.index.get(code).map(|&i| &self.results[i])
     }
 
     /// Result for an application code.
@@ -98,10 +251,78 @@ impl Campaign {
     ///
     /// Panics if the code is not in the campaign.
     pub fn result(&self, code: &str) -> &AppResult {
-        self.results
-            .iter()
-            .find(|r| r.app.code == code)
+        self.try_result(code)
             .unwrap_or_else(|| panic!("no result for application {code:?}"))
+    }
+
+    /// Execution summary of this campaign's fan-out: totals, the estimated
+    /// speedup over a one-worker run, and the slowest application.
+    pub fn run_report(&self) -> RunReport {
+        let serial: Duration = self.results.iter().map(|r| r.wall).sum();
+        let total_instructions: u64 = self
+            .results
+            .iter()
+            .map(|r| r.summary.dynamic_instructions)
+            .sum();
+        let slowest = self
+            .results
+            .iter()
+            .max_by_key(|r| r.wall)
+            .map(|r| (r.app.code, r.wall));
+        RunReport {
+            apps: self.results.len(),
+            workers: self.workers,
+            wall: self.wall,
+            serial_wall: serial,
+            speedup: serial.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
+            slowest,
+            total_instructions,
+            instructions_per_second: total_instructions as f64 / self.wall.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+/// Wall-clock summary of one campaign run (see [`Campaign::run_report`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Applications simulated.
+    pub apps: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole fan-out.
+    pub wall: Duration,
+    /// Sum of per-application wall times (≈ one-worker wall time).
+    pub serial_wall: Duration,
+    /// `serial_wall / wall`: the speedup the pool delivered.
+    pub speedup: f64,
+    /// Slowest application and its wall time (the fan-out's critical path).
+    pub slowest: Option<(&'static str, Duration)>,
+    /// Dynamic instructions summed over all applications.
+    pub total_instructions: u64,
+    /// Aggregate simulator throughput over the campaign wall time.
+    pub instructions_per_second: f64,
+}
+
+impl core::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} apps on {} worker{} in {:.3?} ({:.1} M instr/s)",
+            self.apps,
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            self.wall,
+            self.instructions_per_second / 1e6,
+        )?;
+        write!(
+            f,
+            "  serial estimate {:.3?}, speedup {:.2}x",
+            self.serial_wall, self.speedup
+        )?;
+        if let Some((code, wall)) = self.slowest {
+            write!(f, ", slowest app {code} at {wall:.3?}")?;
+        }
+        Ok(())
     }
 }
 
@@ -109,6 +330,61 @@ impl Campaign {
 mod tests {
     use super::*;
     use bvf_core::Unit;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Output order always matches input order — for any items, any
+        /// worker count, and any (uneven) per-item cost profile, so
+        /// completion order and input order routinely disagree.
+        #[test]
+        fn parallel_map_order_matches_input_for_any_pool(
+            items in proptest::collection::vec(any::<u32>(), 1..48),
+            workers in 1usize..9,
+            delays in proptest::collection::vec(0u64..250, 1..16),
+        ) {
+            let out = parallel_map(&items, Parallelism::Fixed(workers), |&x| {
+                let d = delays[x as usize % delays.len()];
+                if d > 150 {
+                    std::thread::sleep(Duration::from_micros(d));
+                }
+                u64::from(x).wrapping_add(1)
+            });
+            let expected: Vec<u64> =
+                items.iter().map(|&x| u64::from(x).wrapping_add(1)).collect();
+            prop_assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn campaign_results_follow_input_order_not_completion_order() {
+        let mut config = GpuConfig::baseline();
+        config.sms = 1;
+        // Deliberately not registry order, with uneven per-app cost.
+        let codes = ["SGE", "RED", "VAD"];
+        let apps: Vec<Application> = codes
+            .iter()
+            .map(|c| Application::by_code(c).expect("app"))
+            .collect();
+        let c = Campaign::run(config, &apps, Parallelism::Fixed(3));
+        let got: Vec<&str> = c.results.iter().map(|r| r.app.code).collect();
+        assert_eq!(got, codes);
+    }
+
+    /// Compile-time `Send`/`Sync` audit of everything a campaign worker
+    /// closes over or returns. `std::thread::scope` requires these bounds;
+    /// spelling them out here keeps an accidental `Rc`/`RefCell` in the
+    /// simulator from surfacing as an inscrutable spawn error later.
+    #[test]
+    fn worker_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gpu>();
+        assert_send_sync::<GpuConfig>();
+        assert_send_sync::<CodingView>();
+        assert_send_sync::<Application>();
+        assert_send_sync::<TraceSummary>();
+        assert_send_sync::<AppResult>();
+        assert_send_sync::<Campaign>();
+    }
 
     #[test]
     fn smoke_campaign_runs_everything() {
@@ -121,7 +397,72 @@ mod tests {
                 r.app.code
             );
             assert_eq!(r.summary.views.len(), 5);
+            assert!(r.wall > Duration::ZERO, "{} was not timed", r.app.code);
+            assert!(
+                r.instructions_per_second > 0.0,
+                "{} has no throughput",
+                r.app.code
+            );
         }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven per-item cost so completion order differs from input order.
+        let doubled = parallel_map(&items, Parallelism::Fixed(4), |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallelism_resolves_to_sane_worker_counts() {
+        assert_eq!(Parallelism::Sequential.workers(58), 1);
+        assert_eq!(Parallelism::Fixed(4).workers(58), 4);
+        assert_eq!(Parallelism::Fixed(0).workers(58), 1, "clamped up");
+        assert_eq!(Parallelism::Fixed(16).workers(6), 6, "capped at items");
+        assert!(Parallelism::Auto.workers(58) >= 1);
+    }
+
+    #[test]
+    fn sequential_and_parallel_campaigns_are_bit_identical() {
+        let seq = Campaign::smoke_with(Parallelism::Sequential);
+        let par = Campaign::smoke_with(Parallelism::Fixed(4));
+        assert_eq!(par.workers, 4);
+        assert_eq!(seq.workers, 1);
+        // PartialEq covers config, arch, mask, and every TraceSummary —
+        // the summaries carry every counter the figures consume, so this
+        // is the bit-identical-results guarantee of the engine.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn run_report_totals_are_consistent() {
+        let c = Campaign::smoke_with(Parallelism::Fixed(2));
+        let r = c.run_report();
+        assert_eq!(r.apps, 6);
+        assert_eq!(r.workers, 2);
+        assert!(r.wall > Duration::ZERO);
+        assert!(r.serial_wall >= c.results.iter().map(|x| x.wall).max().unwrap());
+        assert!(r.speedup > 0.0);
+        let (code, wall) = r.slowest.expect("six apps ran");
+        assert!(c
+            .results
+            .iter()
+            .any(|x| x.app.code == code && x.wall == wall));
+        assert_eq!(
+            r.total_instructions,
+            c.results
+                .iter()
+                .map(|x| x.summary.dynamic_instructions)
+                .sum::<u64>()
+        );
+        // The report renders without panicking and mentions the app count.
+        assert!(format!("{r}").contains("6 apps"));
     }
 
     #[test]
@@ -150,5 +491,13 @@ mod tests {
     fn result_lookup() {
         let c = Campaign::smoke();
         assert_eq!(c.result("VAD").app.code, "VAD");
+        assert_eq!(c.try_result("VAD").unwrap().app.code, "VAD");
+        assert!(c.try_result("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no result for application")]
+    fn missing_result_panics() {
+        Campaign::smoke().result("nope");
     }
 }

@@ -17,36 +17,41 @@ use bvf_isa::{assemble_kernel, derive_mask, derive_mask_for, Architecture};
 use bvf_power::{DesignPoint, EnergyReport, PowerModel};
 use bvf_workloads::{Application, DataProfile};
 
-use crate::campaign::Campaign;
+use crate::campaign::{parallel_map, Campaign, Parallelism};
 use crate::table::Table;
 
 /// Pivot-lane ablation: run `apps` once per candidate pivot and report the
 /// encoded register-read 1-fraction (the quantity the BVF cell charges).
 /// Candidates: lane 0 (prior work's default), lane 21 (the paper), lane 16
-/// (naive middle).
-pub fn pivot_ablation(config: &GpuConfig, apps: &[Application]) -> Table {
+/// (naive middle). The (app × pivot) simulations are independent, so they
+/// fan out on the campaign worker pool.
+pub fn pivot_ablation(config: &GpuConfig, apps: &[Application], par: Parallelism) -> Table {
+    const PIVOTS: [usize; 3] = [0, 16, 21];
+    let jobs: Vec<(&Application, usize)> = apps
+        .iter()
+        .flat_map(|app| PIVOTS.iter().map(move |&p| (app, p)))
+        .collect();
+    let fractions = parallel_map(&jobs, par, |&(app, pivot)| {
+        let view = CodingView {
+            name: "vs".into(),
+            nv: false,
+            vs: true,
+            isa: false,
+            vs_reg_pivot: pivot,
+            isa_mask: 0,
+        };
+        let mut gpu = Gpu::new(config.clone(), vec![view]);
+        let summary = app.run(&mut gpu);
+        let u = summary.view("vs").unit(bvf_core::Unit::Reg);
+        u.read_bits.one_fraction() * 100.0
+    });
     let mut t = Table::new(
         "ablation-pivot",
         "encoded register 1-fraction (%) per VS pivot choice",
         vec!["pivot 0".into(), "pivot 16".into(), "pivot 21".into()],
     );
-    for app in apps {
-        let mut row = Vec::new();
-        for pivot in [0usize, 16, 21] {
-            let view = CodingView {
-                name: "vs".into(),
-                nv: false,
-                vs: true,
-                isa: false,
-                vs_reg_pivot: pivot,
-                isa_mask: 0,
-            };
-            let mut gpu = Gpu::new(config.clone(), vec![view]);
-            let summary = app.run(&mut gpu);
-            let u = summary.view("vs").unit(bvf_core::Unit::Reg);
-            row.push(u.read_bits.one_fraction() * 100.0);
-        }
-        t.push(app.code, row);
+    for (app, row) in apps.iter().zip(fractions.chunks(PIVOTS.len())) {
+        t.push(app.code, row.to_vec());
     }
     t
 }
@@ -204,7 +209,7 @@ mod tests {
             .iter()
             .map(|c| Application::by_code(c).expect("app"))
             .collect();
-        let t = pivot_ablation(&small_config(), &apps);
+        let t = pivot_ablation(&small_config(), &apps, Parallelism::Auto);
         for row in &t.rows {
             // A middle pivot must not be worse than lane 0 by any margin
             // beyond noise on smooth data.

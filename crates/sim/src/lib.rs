@@ -32,5 +32,5 @@ pub mod campaign;
 pub mod figures;
 pub mod table;
 
-pub use campaign::Campaign;
+pub use campaign::{parallel_map, AppResult, Campaign, Parallelism, RunReport};
 pub use table::Table;

@@ -251,6 +251,19 @@ mod tests {
     use super::*;
     use bvf_gpu::{CodingView, GpuConfig};
 
+    /// Compile-time audit: campaign workers move applications across
+    /// threads, so the descriptor types must stay `Send + Sync` (no `Rc`,
+    /// `RefCell`, or raw pointers may creep in).
+    #[test]
+    fn application_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Application>();
+        assert_send_sync::<Suite>();
+        assert_send_sync::<AppClass>();
+        assert_send_sync::<Template>();
+        assert_send_sync::<DataProfile>();
+    }
+
     #[test]
     fn registry_has_58_unique_applications() {
         let apps = Application::all();

@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the bench crate uses — `Criterion`,
+//! `benchmark_group`/`bench_function`/`throughput`/`sample_size`,
+//! `black_box`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple wall-clock harness: per benchmark it
+//! calibrates an iteration count, takes `sample_size` samples, and prints
+//! the median time (plus throughput when declared).
+//!
+//! Under `cargo test` (cargo passes `--test` to `harness = false` bench
+//! binaries) every benchmark body runs exactly once so the suite stays fast
+//! while still smoke-testing the bench code.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure for real.
+    Measure { sample_size: usize },
+    /// `cargo test`: run the body once to make sure it works.
+    Smoke,
+}
+
+impl Bencher {
+    /// Time `f`, storing the per-iteration median for the caller to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+                self.last_ns = 0.0;
+            }
+            Mode::Measure { sample_size } => {
+                // Calibrate: grow the batch until one batch costs >= 1 ms.
+                let mut batch = 1u64;
+                loop {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    if t.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+                        break;
+                    }
+                    batch *= 2;
+                }
+                let mut samples: Vec<f64> = (0..sample_size.max(1))
+                    .map(|_| {
+                        let t = Instant::now();
+                        for _ in 0..batch {
+                            black_box(f());
+                        }
+                        t.elapsed().as_secs_f64() * 1e9 / batch as f64
+                    })
+                    .collect();
+                samples.sort_by(|a, b| a.total_cmp(b));
+                self.last_ns = samples[samples.len() / 2];
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(id: &str, ns: f64, throughput: Option<Throughput>) {
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(b) => {
+                format!("  {:>10.1} MiB/s", b as f64 / ns * 1e9 / (1 << 20) as f64)
+            }
+            Throughput::Elements(e) => format!("  {:>10.1} Melem/s", e as f64 / ns * 1e9 / 1e6),
+        })
+        .unwrap_or_default();
+    println!("bench: {id:<50} {:>12}/iter{rate}", fmt_ns(ns));
+}
+
+/// Top-level harness handle, one per bench binary.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--test` under
+        // `cargo test` and with `--bench` under `cargo bench`.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Self {
+            mode: if smoke {
+                Mode::Smoke
+            } else {
+                Mode::Measure { sample_size: 20 }
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        if let Mode::Measure { sample_size } = &mut self.mode {
+            *sample_size = n;
+        }
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mode: self.mode,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        if self.mode != Mode::Smoke {
+            report(&id, b.last_ns, None);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if let Mode::Measure { sample_size } = &mut self.criterion.mode {
+            *sample_size = n;
+        }
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        if self.criterion.mode != Mode::Smoke {
+            report(&id, b.last_ns, self.throughput);
+        }
+        self
+    }
+
+    /// Finish the group (formatting no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one group runner, mirroring criterion's
+/// plain and `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_in_smoke_mode() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(128));
+            g.sample_size(10);
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1, "smoke mode must run the body exactly once");
+    }
+
+    #[test]
+    fn measure_mode_times_cheap_work() {
+        let mut c = Criterion {
+            mode: Mode::Measure { sample_size: 3 },
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

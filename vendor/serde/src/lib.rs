@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in environments where the crates.io registry is
+//! unreachable, so external dependencies are vendored as minimal shims. The
+//! codebase only *annotates* types with `#[derive(Serialize, Deserialize)]`
+//! (no code actually serializes through serde), so marker traits with
+//! blanket impls are sufficient: every type is trivially `Serialize` and
+//! `Deserialize`, and the derives (see `serde_derive`) expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// `serde::de` namespace subset.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace subset.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

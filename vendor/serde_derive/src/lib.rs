@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive` when the crates.io
+//! registry is unreachable.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; the vendored
+//! `serde` shim instead provides blanket impls, so these derives only need
+//! to accept the syntax (including `#[serde(...)]` helper attributes) and
+//! emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing; the blanket impl in the `serde` shim applies.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing; the blanket impl in the `serde` shim applies.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
