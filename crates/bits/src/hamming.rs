@@ -87,6 +87,10 @@ pub fn distance_slice<W: BitWord>(a: &[W], b: &[W]) -> u64 {
 
 /// Total Hamming distance between two equal-length byte slices.
 ///
+/// Processes 8 bytes per step with one `u64` XOR + popcount (the toggle
+/// counter calls this once per flit, so it sits on the simulator hot path);
+/// the tail is handled byte-wise.
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
@@ -96,10 +100,39 @@ pub fn distance_bytes(a: &[u8], b: &[u8]) -> u64 {
         b.len(),
         "hamming distance requires equal-length sequences"
     );
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| u64::from((x ^ y).count_ones()))
-        .sum()
+    let mut total = 0u64;
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        let wx = u64::from_le_bytes(x.try_into().expect("chunk of 8"));
+        let wy = u64::from_le_bytes(y.try_into().expect("chunk of 8"));
+        total += u64::from((wx ^ wy).count_ones());
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        total += u64::from((x ^ y).count_ones());
+    }
+    total
+}
+
+/// Total Hamming distance between `a` and an equal-length all-`byte` slice
+/// (e.g. the all-ones idle flit a precharged bus returns to), without
+/// materializing that slice.
+///
+/// ```
+/// assert_eq!(bvf_bits::distance_to_splat(&[0x00, 0xff], 0xff), 8);
+/// ```
+pub fn distance_to_splat(a: &[u8], byte: u8) -> u64 {
+    let splat = u64::from(byte) * 0x0101_0101_0101_0101;
+    let mut total = 0u64;
+    let mut chunks = a.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        total += u64::from((w ^ splat).count_ones());
+    }
+    for &b in chunks.remainder() {
+        total += u64::from((b ^ byte).count_ones());
+    }
+    total
 }
 
 /// Normalized relative Hamming distance between two byte slices in `[0, 1]`.
@@ -164,6 +197,24 @@ mod tests {
         #[test]
         fn weight_is_distance_to_zero(a: u32) {
             prop_assert_eq!(weight_u32(a), distance_u32(a, 0));
+        }
+
+        #[test]
+        fn distance_bytes_matches_bytewise(a: Vec<u8>, b: Vec<u8>) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let expected: u64 = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| u64::from((x ^ y).count_ones()))
+                .sum();
+            prop_assert_eq!(distance_bytes(a, b), expected);
+        }
+
+        #[test]
+        fn splat_matches_materialized(a: Vec<u8>, byte: u8) {
+            let splat = vec![byte; a.len()];
+            prop_assert_eq!(distance_to_splat(&a, byte), distance_bytes(&a, &splat));
         }
 
         #[test]

@@ -41,7 +41,9 @@ pub mod stats;
 pub mod toggle;
 pub mod word;
 
-pub use hamming::{distance_u32, distance_u64, weight_bytes, weight_u32, weight_u64};
+pub use hamming::{
+    distance_to_splat, distance_u32, distance_u64, weight_bytes, weight_u32, weight_u64,
+};
 pub use leakage::OccupancyIntegrator;
 pub use position::PositionHistogram;
 pub use profile::{signed_leading_bits_u32, NarrowValueProfile};

@@ -76,7 +76,10 @@ impl core::iter::Sum for ToggleStats {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChannelToggles {
     flit_bytes: usize,
-    last: Option<Vec<u8>>,
+    /// Wire state after the most recent flit (always `flit_bytes` long;
+    /// all-zero until primed). Updated in place — `send` never allocates.
+    last: Vec<u8>,
+    primed: bool,
     stats: ToggleStats,
 }
 
@@ -90,7 +93,8 @@ impl ChannelToggles {
         assert!(flit_bytes > 0, "flit size must be non-zero");
         Self {
             flit_bytes,
-            last: None,
+            last: vec![0u8; flit_bytes],
+            primed: false,
             stats: ToggleStats::default(),
         }
     }
@@ -113,14 +117,30 @@ impl ChannelToggles {
             flit.len(),
             self.flit_bytes
         );
-        let mut padded = vec![0u8; self.flit_bytes];
-        padded[..flit.len()].copy_from_slice(flit);
-        if let Some(prev) = &self.last {
+        if self.primed {
+            // Distance to the zero-padded flit, without materializing the
+            // padding: the tail wires drop to 0, so they contribute exactly
+            // the weight of the previous tail.
             self.stats.transfers += 1;
-            self.stats.bit_toggles += hamming::distance_bytes(prev, &padded);
+            self.stats.bit_toggles += hamming::distance_bytes(&self.last[..flit.len()], flit)
+                + hamming::weight_bytes(&self.last[flit.len()..]);
             self.stats.bit_slots += self.flit_bytes as u64 * 8;
         }
-        self.last = Some(padded);
+        self.last[..flit.len()].copy_from_slice(flit);
+        self.last[flit.len()..].fill(0);
+        self.primed = true;
+    }
+
+    /// Transmit one full-width flit whose every byte is `byte` (e.g. the
+    /// all-ones idle pattern of a precharged bus) without building it.
+    pub fn send_splat(&mut self, byte: u8) {
+        if self.primed {
+            self.stats.transfers += 1;
+            self.stats.bit_toggles += hamming::distance_to_splat(&self.last, byte);
+            self.stats.bit_slots += self.flit_bytes as u64 * 8;
+        }
+        self.last.fill(byte);
+        self.primed = true;
     }
 
     /// Statistics accumulated so far.
@@ -130,7 +150,8 @@ impl ChannelToggles {
 
     /// Clear history and statistics while keeping the flit size.
     pub fn reset(&mut self) {
-        self.last = None;
+        self.last.fill(0);
+        self.primed = false;
         self.stats = ToggleStats::default();
     }
 }
@@ -187,7 +208,39 @@ mod tests {
         assert_eq!(ch.stats().transfers, 0);
     }
 
+    #[test]
+    fn splat_matches_explicit_flit() {
+        let mut a = ChannelToggles::new(4);
+        let mut b = ChannelToggles::new(4);
+        for (flit, idle) in [([0x12u8, 0x34, 0x56, 0x78], 0xff), ([0; 4], 0x00)] {
+            a.send(&flit);
+            a.send_splat(idle);
+            b.send(&flit);
+            b.send(&[idle; 4]);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a, b);
+    }
+
     proptest! {
+        #[test]
+        fn send_never_depends_on_history_representation(
+            flits: Vec<[u8; 8]>,
+            cut in 0usize..8,
+        ) {
+            // Short flits zero-pad; a shortened resend must equal sending
+            // the explicitly padded flit.
+            let mut short = ChannelToggles::new(8);
+            let mut padded = ChannelToggles::new(8);
+            for f in &flits {
+                let mut p = [0u8; 8];
+                p[..cut].copy_from_slice(&f[..cut]);
+                short.send(&f[..cut]);
+                padded.send(&p);
+            }
+            prop_assert_eq!(short.stats(), padded.stats());
+        }
+
         #[test]
         fn toggle_rate_in_unit_interval(flits: Vec<[u8; 4]>) {
             let mut ch = ChannelToggles::new(4);

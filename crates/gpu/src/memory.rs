@@ -105,26 +105,45 @@ impl GlobalMemory {
     /// Read a whole cache line (`line_bytes` long) containing byte address
     /// `addr`, zero-filling any bytes outside registered buffers.
     pub fn read_line(&self, addr: u64, line_bytes: usize) -> Vec<u8> {
-        let line_base = addr - addr % line_bytes as u64;
-        let mut out = vec![0u8; line_bytes];
-        for (b, byte) in out.iter_mut().enumerate() {
-            let a = line_base + b as u64;
-            if let Some(v) = self.read_byte(a) {
-                *byte = v;
-            }
-        }
+        let mut out = Vec::new();
+        self.read_line_into(addr, line_bytes, &mut out);
         out
     }
 
-    fn read_byte(&self, addr: u64) -> Option<u8> {
+    /// [`GlobalMemory::read_line`] into a caller-owned buffer, so hot paths
+    /// can reuse one allocation across lines. `out` is resized to
+    /// `line_bytes`; bytes outside registered buffers read as zero.
+    pub fn read_line_into(&self, addr: u64, line_bytes: usize, out: &mut Vec<u8>) {
+        let line_base = addr - addr % line_bytes as u64;
+        let line_end = line_base + line_bytes as u64;
+        out.clear();
+        out.resize(line_bytes, 0);
+        // Buffers are disjoint, so each contributes its overlap independently.
         for b in self.buffers.values() {
-            let end = b.base + b.words.len() as u64 * 4;
-            if addr >= b.base && addr < end {
-                let off = (addr - b.base) as usize;
-                return Some(b.words[off / 4].to_le_bytes()[off % 4]);
+            let b_end = b.base + b.words.len() as u64 * 4;
+            let start = line_base.max(b.base);
+            let end = line_end.min(b_end);
+            if start >= end {
+                continue;
+            }
+            let mut o = (start - line_base) as usize;
+            if start.is_multiple_of(4) && end.is_multiple_of(4) {
+                // Word-aligned overlap (the common case: line and buffer
+                // bounds are all word-aligned) — copy whole words.
+                let w0 = ((start - b.base) / 4) as usize;
+                let w1 = ((end - b.base) / 4) as usize;
+                for w in &b.words[w0..w1] {
+                    out[o..o + 4].copy_from_slice(&w.to_le_bytes());
+                    o += 4;
+                }
+            } else {
+                for a in start..end {
+                    let off = (a - b.base) as usize;
+                    out[o] = b.words[off / 4].to_le_bytes()[off % 4];
+                    o += 1;
+                }
             }
         }
-        None
     }
 
     fn expect(&self, id: BufferId) -> &Buffer {
@@ -175,6 +194,37 @@ mod tests {
     fn unmapped_addresses_read_zero() {
         let m = GlobalMemory::new();
         assert_eq!(m.read_line(0, 128), vec![0u8; 128]);
+    }
+
+    #[test]
+    fn read_line_into_matches_bytewise_reference() {
+        let mut m = GlobalMemory::new();
+        // A buffer whose end (92 bytes) falls mid-line, so lines straddle
+        // the mapped/unmapped boundary.
+        m.add_buffer(
+            BufferId(0),
+            (0..23u32).map(|i| i.wrapping_mul(0x9e37)).collect(),
+        );
+        m.add_buffer(BufferId(1), vec![0xffff_ffff; 40]);
+        let bases = [m.base_of(BufferId(0)), m.base_of(BufferId(1))];
+        let mut out = Vec::new();
+        for base in bases {
+            for addr in [
+                base,
+                base + 64,
+                base + 80,
+                base + 128,
+                base.saturating_sub(128),
+            ] {
+                m.read_line_into(addr, 128, &mut out);
+                // Byte-at-a-time reference via single-word lines.
+                let line_base = addr - addr % 128;
+                let reference: Vec<u8> = (0..32)
+                    .flat_map(|w| m.read_line(line_base + w * 4, 4))
+                    .collect();
+                assert_eq!(out, reference, "line at {addr:#x}");
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! capacity utilization (the input of the leakage model).
 
 use std::collections::{BTreeMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use bvf_bits::{BitCounts, NarrowValueProfile};
 use bvf_core::Unit;
@@ -75,6 +76,28 @@ impl TraceSummary {
     }
 }
 
+/// Multiplicative hasher for line-address sets. `touch` runs on every
+/// memory event, where SipHash's per-insert cost is measurable; line
+/// addresses are well spread already, so Fibonacci hashing suffices.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 29)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type LineSet = HashSet<u64, BuildHasherDefault<LineHasher>>;
+
 /// Cross-SM shared state during a launch.
 struct SharedState {
     collector: StatsCollector,
@@ -87,13 +110,22 @@ struct SharedState {
     lane_sums: [u64; 32],
     lane_samples: u64,
     reg_write_counter: u64,
-    touched: BTreeMap<Unit, HashSet<u64>>,
+    /// Distinct lines touched per unit, indexed by `unit as usize`.
+    touched: [LineSet; 9],
     smem_conflict_cycles: u64,
+    /// Scratch for one cache line image, reused across every memory event.
+    line_buf: Vec<u8>,
+    /// Scratch for one instruction line (words + serialized payload).
+    instr_buf: Vec<u64>,
+    payload_buf: Vec<u8>,
+    /// Scratch for shared-memory bank-conflict counting.
+    bank_buf: Vec<u32>,
 }
 
 impl SharedState {
+    #[inline]
     fn touch(&mut self, unit: Unit, line: u64) {
-        self.touched.entry(unit).or_default().insert(line);
+        self.touched[unit as usize].insert(line);
     }
 }
 
@@ -125,16 +157,21 @@ struct SmEnv<'a> {
 impl SmEnv<'_> {
     /// The 16 instruction words of the 128B line containing `pc` (short at
     /// the program tail).
-    fn ifetch_line_words(&self, pc: usize, _word: u64) -> Vec<u64> {
+    fn ifetch_line_words(&self, pc: usize) -> &[u64] {
         let start = pc & !15;
         let end = (start + 16).min(self.instr_words.len());
-        self.instr_words[start..end].to_vec()
+        &self.instr_words[start..end]
     }
 
     /// Route one data line through L1 → (NoC → L2) and record every access.
     fn data_line_load(&mut self, l1_unit: Unit, line_addr: u64) {
         let line_bytes = self.shared.l2_line_bytes as usize;
-        let line = self.shared.memory.read_line(line_addr, line_bytes);
+        // Reuse the shared line scratch (taken out to satisfy borrows; the
+        // swap is allocation-free).
+        let mut line = std::mem::take(&mut self.shared.line_buf);
+        self.shared
+            .memory
+            .read_line_into(line_addr, line_bytes, &mut line);
         self.shared.touch(l1_unit, line_addr);
         let l1 = match l1_unit {
             Unit::L1d => &mut self.sm.l1d,
@@ -179,6 +216,7 @@ impl SmEnv<'_> {
                     .record_line(l1_unit, AccessKind::Read, &line);
             }
         }
+        self.shared.line_buf = line;
     }
 
     fn l2_read(&mut self, bank: u32, line_addr: u64, line: &[u8]) {
@@ -210,8 +248,13 @@ impl SmEnv<'_> {
         // The store already updated backing memory, so the line image is
         // the post-write content ("the entire L1 line is invalidated and
         // written into L2").
-        let line = self.shared.memory.read_line(line_addr, line_bytes);
-        self.shared.touch(Unit::L1d, line_addr);
+        let mut line = std::mem::take(&mut self.shared.line_buf);
+        self.shared
+            .memory
+            .read_line_into(line_addr, line_bytes, &mut line);
+        // No L1D touch: the L1 is write-no-allocate/write-evict, so a
+        // store-only line is never resident and must not count toward the
+        // L1D leakage occupancy.
         self.shared.touch(Unit::L2, line_addr);
         if self.sm.l1d.probe(line_addr) {
             self.sm.l1d.invalidate(line_addr);
@@ -237,6 +280,7 @@ impl SmEnv<'_> {
         self.shared
             .collector
             .record_line(Unit::L2, AccessKind::Write, &line);
+        self.shared.line_buf = line;
     }
 
     fn l2_bank_of(&self, line_addr: u64) -> u32 {
@@ -258,11 +302,17 @@ impl WarpEnv for SmEnv<'_> {
         // Operand collector: two operands mapping to the same register bank
         // serialize; each extra same-bank operand costs one cycle.
         let banks = self.sm.reg_banks.max(1);
-        let mut count = vec![0u8; banks as usize];
+        // Register ids are u8, so `r % banks` never exceeds 255 — a fixed
+        // stack array covers any bank count without allocating.
+        let mut count = [0u8; 256];
         for &r in regs {
             count[(u32::from(r) % banks) as usize] += 1;
         }
-        let extra: u64 = count.iter().map(|&c| u64::from(c.saturating_sub(1))).sum();
+        let used = (banks as usize).min(count.len());
+        let extra: u64 = count[..used]
+            .iter()
+            .map(|&c| u64::from(c.saturating_sub(1)))
+            .sum();
         self.sm.reg_bank_conflicts += extra;
     }
 
@@ -334,13 +384,19 @@ impl WarpEnv for SmEnv<'_> {
                         is_write: false,
                     });
                 }
-                let line_words = self.ifetch_line_words(pc, word);
+                let mut line_words = std::mem::take(&mut self.shared.instr_buf);
+                line_words.clear();
+                line_words.extend_from_slice(self.ifetch_line_words(pc));
+                let mut payload = std::mem::take(&mut self.shared.payload_buf);
+                payload.clear();
+                for w in &line_words {
+                    payload.extend_from_slice(&w.to_le_bytes());
+                }
                 self.shared.collector.record_instruction_line(
                     Unit::L2,
                     AccessKind::Read,
                     &line_words,
                 );
-                let payload: Vec<u8> = line_words.iter().flat_map(|w| w.to_le_bytes()).collect();
                 let rep = header(cmd::IFETCH_REPLY, self.sm.id, bank, addr, self.warp_id);
                 self.shared.collector.record_noc_packet(
                     channel_id(self.sm.id, bank, Direction::Reply),
@@ -353,6 +409,8 @@ impl WarpEnv for SmEnv<'_> {
                     AccessKind::Fill,
                     &line_words,
                 );
+                self.shared.instr_buf = line_words;
+                self.shared.payload_buf = payload;
                 self.shared
                     .collector
                     .record_instruction(Unit::L1i, AccessKind::Read, word);
@@ -384,16 +442,8 @@ impl WarpEnv for SmEnv<'_> {
                 }
             }
             self.profile_global_data(values, active);
-            let mut lines: Vec<u64> = (0..32)
-                .filter(|l| active >> l & 1 == 1)
-                .map(|l| {
-                    let a = self.shared.memory.addr_of(buf, indices[l]);
-                    a - a % line_bytes
-                })
-                .collect();
-            lines.sort_unstable();
-            lines.dedup();
-            for line in lines {
+            let (lines, n) = coalesce_lines(&self.shared.memory, buf, indices, active, line_bytes);
+            for &line in &lines[..n] {
                 self.data_line_store(line);
             }
         } else {
@@ -406,16 +456,8 @@ impl WarpEnv for SmEnv<'_> {
             if op == Op::LdGlobal(buf) {
                 self.profile_global_data(&out, active);
             }
-            let mut lines: Vec<u64> = (0..32)
-                .filter(|l| active >> l & 1 == 1)
-                .map(|l| {
-                    let a = self.shared.memory.addr_of(buf, indices[l]);
-                    a - a % line_bytes
-                })
-                .collect();
-            lines.sort_unstable();
-            lines.dedup();
-            for line in lines {
+            let (lines, n) = coalesce_lines(&self.shared.memory, buf, indices, active, line_bytes);
+            for &line in &lines[..n] {
                 self.data_line_load(l1_unit, line);
             }
         }
@@ -431,8 +473,11 @@ impl WarpEnv for SmEnv<'_> {
     ) -> [u32; 32] {
         let n = self.smem.len().max(1);
         let mut out = [0u32; 32];
-        // Bank-conflict serialization estimate.
-        let mut bank_count = vec![0u32; self.smem_banks as usize];
+        // Bank-conflict serialization estimate (reused scratch — zeroing a
+        // handful of words beats reallocating per access).
+        let bank_count = &mut self.shared.bank_buf;
+        bank_count.clear();
+        bank_count.resize(self.smem_banks as usize, 0);
         for lane in 0..32 {
             if active >> lane & 1 == 1 {
                 bank_count[(indices[lane] % self.smem_banks) as usize] += 1;
@@ -566,8 +611,12 @@ impl Gpu {
             lane_sums: [0; 32],
             lane_samples: 0,
             reg_write_counter: 0,
-            touched: BTreeMap::new(),
+            touched: Default::default(),
             smem_conflict_cycles: 0,
+            line_buf: Vec::new(),
+            instr_buf: Vec::new(),
+            payload_buf: Vec::new(),
+            bank_buf: Vec::new(),
         };
         let concurrent_ctas = (cfg.warps_per_sm / warps_per_cta).max(1);
         let mut max_cycles = 0u64;
@@ -681,13 +730,12 @@ impl Gpu {
         let mut smem: Vec<Vec<u32>> =
             vec![vec![0u32; prog.shared_words.max(1) as usize]; ctas.len()];
         let mut at_barrier = vec![false; warps.len()];
+        let mut ready = vec![false; warps.len()];
 
         loop {
-            let ready: Vec<bool> = warps
-                .iter()
-                .zip(&at_barrier)
-                .map(|(w, &b)| !w.is_done() && !b)
-                .collect();
+            for (r, (w, &b)) in ready.iter_mut().zip(warps.iter().zip(&at_barrier)) {
+                *r = !w.is_done() && !b;
+            }
             let Some(wi) = sm.scheduler.pick(&ready) else {
                 // Everyone is done or at a barrier.
                 if warps.iter().all(|w| w.is_done()) {
@@ -696,13 +744,13 @@ impl Gpu {
                 // Release barriers whose CTA has fully arrived.
                 let mut released = false;
                 for slot in 0..ctas.len() {
-                    let members: Vec<usize> = (0..warps.len())
-                        .filter(|&i| warp_cta_slot[i] == slot)
-                        .collect();
-                    if members.iter().all(|&i| at_barrier[i] || warps[i].is_done())
-                        && members.iter().any(|&i| at_barrier[i])
+                    let members = |i: &usize| warp_cta_slot[*i] == slot;
+                    if (0..warps.len())
+                        .filter(members)
+                        .all(|i| at_barrier[i] || warps[i].is_done())
+                        && (0..warps.len()).filter(members).any(|i| at_barrier[i])
                     {
-                        for &i in &members {
+                        for i in (0..warps.len()).filter(members) {
                             at_barrier[i] = false;
                         }
                         released = true;
@@ -735,11 +783,12 @@ impl Gpu {
                     at_barrier[wi] = true;
                     sm.scheduler.on_stall(wi);
                     // Release immediately if the whole CTA has arrived.
-                    let members: Vec<usize> = (0..warps.len())
-                        .filter(|&i| warp_cta_slot[i] == slot)
-                        .collect();
-                    if members.iter().all(|&i| at_barrier[i] || warps[i].is_done()) {
-                        for &i in &members {
+                    let members = |i: &usize| warp_cta_slot[*i] == slot;
+                    if (0..warps.len())
+                        .filter(members)
+                        .all(|i| at_barrier[i] || warps[i].is_done())
+                    {
+                        for i in (0..warps.len()).filter(members) {
                             at_barrier[i] = false;
                         }
                     }
@@ -772,25 +821,26 @@ impl Gpu {
                     / f64::from(cfg.smem_bytes_per_sm),
             ),
         );
-        let lines = |unit: Unit| -> u64 { shared.touched.get(&unit).map_or(0, |s| s.len() as u64) };
+        let lines = |unit: Unit| -> u64 { shared.touched[unit as usize].len() as u64 };
         let line_bytes = u64::from(cfg.l2_bank.line_bytes());
         // L1 caches are per SM; touched lines are aggregated across SMs, so
         // compare against the per-SM capacity times the SM count.
+        let sms = u64::from(cfg.sms);
         u.insert(
             Unit::L1d,
-            clamp01((lines(Unit::L1d) * line_bytes) as f64 / cfg.l1d.bytes() as f64),
+            clamp01((lines(Unit::L1d) * line_bytes) as f64 / (cfg.l1d.bytes() * sms) as f64),
         );
         u.insert(
             Unit::L1i,
-            clamp01((lines(Unit::L1i) * line_bytes) as f64 / cfg.l1i.bytes() as f64),
+            clamp01((lines(Unit::L1i) * line_bytes) as f64 / (cfg.l1i.bytes() * sms) as f64),
         );
         u.insert(
             Unit::L1c,
-            clamp01((lines(Unit::L1c) * line_bytes) as f64 / cfg.l1c.bytes() as f64),
+            clamp01((lines(Unit::L1c) * line_bytes) as f64 / (cfg.l1c.bytes() * sms) as f64),
         );
         u.insert(
             Unit::L1t,
-            clamp01((lines(Unit::L1t) * line_bytes) as f64 / cfg.l1t.bytes() as f64),
+            clamp01((lines(Unit::L1t) * line_bytes) as f64 / (cfg.l1t.bytes() * sms) as f64),
         );
         u.insert(
             Unit::L2,
@@ -801,6 +851,37 @@ impl Gpu {
         );
         u
     }
+}
+
+/// Coalesce one warp's active lane addresses into the sorted, deduplicated
+/// set of cache lines they touch. At most 32 lanes → at most 32 lines, so
+/// the result lives on the stack; returns the array and the live count.
+fn coalesce_lines(
+    memory: &GlobalMemory,
+    buf: bvf_isa::ir::BufferId,
+    indices: &[u32; 32],
+    active: u32,
+    line_bytes: u64,
+) -> ([u64; 32], usize) {
+    let mut lines = [0u64; 32];
+    let mut n = 0usize;
+    for (lane, &idx) in indices.iter().enumerate() {
+        if active >> lane & 1 == 1 {
+            let a = memory.addr_of(buf, idx);
+            lines[n] = a - a % line_bytes;
+            n += 1;
+        }
+    }
+    let live = &mut lines[..n];
+    live.sort_unstable();
+    let mut kept = 0usize;
+    for i in 0..n {
+        if i == 0 || live[i] != live[i - 1] {
+            live[kept] = live[i];
+            kept += 1;
+        }
+    }
+    (lines, kept)
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -1031,6 +1112,63 @@ mod tests {
             assert!((0.0..=1.0).contains(u), "{unit}: {u}");
         }
         assert!(summary.utilization[&Unit::Reg] > 0.0);
+    }
+
+    #[test]
+    fn l1d_utilization_uses_cross_sm_denominator() {
+        // A grid that sweeps a buffer sized to exactly ONE SM's L1D capacity,
+        // split over 2 SMs: the aggregate touched lines equal one SM's worth,
+        // so against the cross-SM denominator the utilization is 0.5. (The
+        // old per-SM denominator reported 1.0.)
+        let mut k = Kernel::new("sweep", 4);
+        k.body.push(Stmt::op3(
+            Op::Mov,
+            0,
+            Operand::Special(Special::GlobalTid),
+            Operand::Imm(0),
+        ));
+        k.body.push(Stmt::op3(
+            Op::LdGlobal(BufferId(0)),
+            1,
+            Operand::Reg(0),
+            Operand::Imm(0),
+        ));
+        let mut gpu = small_gpu();
+        let cfg = gpu.config();
+        assert_eq!(cfg.sms, 2);
+        let l1d_words = (cfg.l1d.bytes() / 4) as usize; // 16 KiB → 4096 words
+        gpu.memory_mut()
+            .add_buffer(BufferId(0), (0..l1d_words as u32).collect());
+        // One thread per word, CTAs alternating across the two SMs.
+        let summary = gpu.launch(&k, LaunchConfig::new(l1d_words as u32 / 128, 128));
+        let u = summary.utilization[&Unit::L1d];
+        assert!((u - 0.5).abs() < 1e-9, "expected 0.5, got {u}");
+    }
+
+    #[test]
+    fn store_only_lines_do_not_occupy_l1d() {
+        // L1D is write-no-allocate/write-evict: a kernel that only stores
+        // never makes lines resident, so its L1D leakage occupancy is zero.
+        let mut k = Kernel::new("wrsweep", 4);
+        k.body.push(Stmt::op3(
+            Op::Mov,
+            0,
+            Operand::Special(Special::GlobalTid),
+            Operand::Imm(0),
+        ));
+        k.body.push(Stmt::op4(
+            Op::StGlobal(BufferId(0)),
+            0,
+            Operand::Reg(0),
+            Operand::Imm(0),
+            Operand::Reg(0),
+        ));
+        let mut gpu = small_gpu();
+        gpu.memory_mut().add_buffer(BufferId(0), vec![0; 1024]);
+        let summary = gpu.launch(&k, LaunchConfig::new(8, 128));
+        assert_eq!(summary.utilization[&Unit::L1d], 0.0);
+        // The stores still reach L2, which does hold the lines.
+        assert!(summary.utilization[&Unit::L2] > 0.0);
     }
 
     #[test]

@@ -86,6 +86,94 @@ impl CodingView {
     }
 }
 
+/// Pre-resolved coders for one view — hoisted out of the per-event loops so
+/// the hot path never re-dispatches on the view flags or rebuilds a coder
+/// per word.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ViewCoders {
+    nv: bool,
+    reg_vs: Option<VsCoder>,
+    line_vs: Option<VsCoder>,
+    isa: Option<IsaCoder>,
+}
+
+impl ViewCoders {
+    fn of(view: &CodingView) -> Self {
+        Self {
+            nv: view.nv,
+            reg_vs: view.vs.then(|| view.reg_vs()),
+            line_vs: view.vs.then(VsCoder::for_cache_lines),
+            isa: view.isa.then(|| IsaCoder::new(view.isa_mask)),
+        }
+    }
+
+    /// Does this view transform data-line payloads at all?
+    fn codes_data(&self) -> bool {
+        self.nv || self.line_vs.is_some()
+    }
+
+    /// Encoded instruction word under this view.
+    #[inline]
+    fn instr(&self, word: u64) -> u64 {
+        match self.isa {
+            Some(coder) => coder.encode_instr(word),
+            None => word,
+        }
+    }
+
+    /// Encode a data-line payload in place (NV then VS, exactly as the
+    /// paper's parser applies them). Non-word-aligned payloads pass through.
+    fn encode_data_line(&self, data: &mut [u8]) {
+        if !data.len().is_multiple_of(4) {
+            return; // headers-only payloads are not coded
+        }
+        if self.nv {
+            NvCoder.encode_bytes(data);
+        }
+        if let Some(vs) = self.line_vs {
+            vs.encode_line_bytes(data);
+        }
+    }
+
+    /// Bit counts of a data line under this view, in one pass and without
+    /// materializing the encoded bytes — bit-identical to
+    /// [`ViewCoders::encode_data_line`] followed by [`BitCounts::of_bytes`].
+    fn data_line_bits(&self, line: &[u8]) -> BitCounts {
+        if !self.codes_data() || !line.len().is_multiple_of(4) {
+            return BitCounts::of_bytes(line);
+        }
+        let n_words = line.len() / 4;
+        // VS pivots on the NV-encoded pivot word (NV runs first), and only
+        // when the line actually contains the pivot element.
+        let pivot = self.line_vs.map(|v| v.pivot()).filter(|&p| p < n_words);
+        let pivot_enc = pivot.map(|p| {
+            let w = u32::from_le_bytes(line[p * 4..p * 4 + 4].try_into().expect("pivot word"));
+            if self.nv {
+                NvCoder.encode_u32(w)
+            } else {
+                w
+            }
+        });
+        let mut ones = 0u64;
+        for (i, c) in line.chunks_exact(4).enumerate() {
+            let mut w = u32::from_le_bytes(c.try_into().expect("chunk of 4"));
+            if self.nv {
+                w = NvCoder.encode_u32(w);
+            }
+            if let Some(p) = pivot_enc {
+                if pivot != Some(i) {
+                    w = !(w ^ p);
+                }
+            }
+            ones += u64::from(w.count_ones());
+        }
+        BitCounts {
+            ones,
+            zeros: line.len() as u64 * 8 - ones,
+        }
+    }
+}
+
 /// Per-unit access statistics for one view.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UnitStats {
@@ -173,11 +261,30 @@ pub enum AccessKind {
 /// The multi-view statistics collector.
 ///
 /// The simulator reports *raw* payloads; the collector encodes them per
-/// view and updates each view's counters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// view and updates each view's counters. The record methods are the
+/// simulator's hot path and perform no heap allocation: per-view coders are
+/// resolved once at construction ([`ViewCoders`]) and payload encoding
+/// reuses one scratch buffer across events.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StatsCollector {
     views: Vec<ViewStats>,
     log: Option<crate::trace::TraceLog>,
+    /// Per-view pre-resolved coders, index-aligned with `views`. Derived
+    /// state — rebuilt on demand after deserialization (see
+    /// [`StatsCollector::sync_coders`]).
+    #[serde(skip)]
+    coders: Vec<ViewCoders>,
+    /// Reusable payload-encoding buffer (capacity persists across events).
+    #[serde(skip)]
+    scratch: Vec<u8>,
+}
+
+/// Equality is the recorded statistics (and log), not the derived coder
+/// cache or the scratch buffer's transient contents.
+impl PartialEq for StatsCollector {
+    fn eq(&self, other: &Self) -> bool {
+        self.views == other.views && self.log == other.log
+    }
 }
 
 impl StatsCollector {
@@ -189,12 +296,24 @@ impl StatsCollector {
     /// Panics if `views` is empty.
     pub fn new(views: Vec<CodingView>, flit_bytes: usize) -> Self {
         assert!(!views.is_empty(), "at least one coding view is required");
+        let coders = views.iter().map(ViewCoders::of).collect();
         Self {
             views: views
                 .into_iter()
                 .map(|v| ViewStats::new(v, flit_bytes))
                 .collect(),
             log: None,
+            coders,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Rebuild the derived per-view coders if they are out of sync with the
+    /// views (only possible after deserialization, which skips them).
+    #[inline]
+    fn sync_coders(&mut self) {
+        if self.coders.len() != self.views.len() {
+            self.coders = self.views.iter().map(|v| ViewCoders::of(&v.view)).collect();
         }
     }
 
@@ -215,6 +334,7 @@ impl StatsCollector {
     /// only lanes that take the branch), but the full warp provides the VS
     /// pivot context.
     pub fn record_register(&mut self, kind: AccessKind, lanes: &[u32; 32], active: u32) {
+        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::Reg {
                 kind: kind.into(),
@@ -222,13 +342,13 @@ impl StatsCollector {
                 active,
             });
         }
-        for vs in &mut self.views {
+        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
             let mut data = *lanes;
-            if vs.view.nv {
+            if vc.nv {
                 NvCoder.encode_words(&mut data);
             }
-            if vs.view.vs {
-                vs.view.reg_vs().encode_warp(&mut data);
+            if let Some(reg_vs) = vc.reg_vs {
+                reg_vs.encode_warp(&mut data);
             }
             let mut bits = BitCounts::default();
             for (i, w) in data.iter().enumerate() {
@@ -243,6 +363,7 @@ impl StatsCollector {
     /// Record a shared-memory access (active lanes' words; VS does not
     /// cover SME, so only NV applies).
     pub fn record_shared(&mut self, kind: AccessKind, lanes: &[u32; 32], active: u32) {
+        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::Shared {
                 kind: kind.into(),
@@ -250,15 +371,11 @@ impl StatsCollector {
                 active,
             });
         }
-        for vs in &mut self.views {
+        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
             let mut bits = BitCounts::default();
             for (i, w) in lanes.iter().enumerate() {
                 if active >> i & 1 == 1 {
-                    let e = if vs.view.nv {
-                        NvCoder.encode_u32(*w)
-                    } else {
-                        *w
-                    };
+                    let e = if vc.nv { NvCoder.encode_u32(*w) } else { *w };
                     bits.record(e);
                 }
             }
@@ -269,6 +386,7 @@ impl StatsCollector {
     /// Record a line-granular data access at an L1/L2 unit. `line` is the
     /// raw line content.
     pub fn record_line(&mut self, unit: Unit, kind: AccessKind, line: &[u8]) {
+        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::Line {
                 unit,
@@ -276,16 +394,15 @@ impl StatsCollector {
                 data: line.to_vec(),
             });
         }
-        for vs in &mut self.views {
-            let mut data = line.to_vec();
-            encode_data_line(&vs.view, &mut data);
-            bump(vs.unit_mut(unit), kind, BitCounts::of_bytes(&data), 1);
+        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
+            bump(vs.unit_mut(unit), kind, vc.data_line_bits(line), 1);
         }
     }
 
     /// Record an instruction access (IFB, L1I, or the instruction-stream
     /// share of L2) of one 64-bit instruction word.
     pub fn record_instruction(&mut self, unit: Unit, kind: AccessKind, instr: u64) {
+        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::Instr {
                 unit,
@@ -293,13 +410,13 @@ impl StatsCollector {
                 word: instr,
             });
         }
-        for vs in &mut self.views {
-            let w = if vs.view.isa {
-                IsaCoder::new(vs.view.isa_mask).encode_instr(instr)
-            } else {
-                instr
-            };
-            bump(vs.unit_mut(unit), kind, BitCounts::of_word(w), 1);
+        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
+            bump(
+                vs.unit_mut(unit),
+                kind,
+                BitCounts::of_word(vc.instr(instr)),
+                1,
+            );
         }
     }
 
@@ -307,6 +424,7 @@ impl StatsCollector {
     /// the instruction-stream share of L2): a single access whose payload is
     /// the given words.
     pub fn record_instruction_line(&mut self, unit: Unit, kind: AccessKind, words: &[u64]) {
+        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::InstrLine {
                 unit,
@@ -314,15 +432,10 @@ impl StatsCollector {
                 words: words.to_vec(),
             });
         }
-        for vs in &mut self.views {
+        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
             let mut bits = BitCounts::default();
             for &w in words {
-                let e = if vs.view.isa {
-                    IsaCoder::new(vs.view.isa_mask).encode_instr(w)
-                } else {
-                    w
-                };
-                bits.record(e);
+                bits.record(vc.instr(w));
             }
             bump(vs.unit_mut(unit), kind, bits, 1);
         }
@@ -342,6 +455,7 @@ impl StatsCollector {
         instruction_payload: bool,
     ) {
         const SIDEBAND: u32 = 1 << 30;
+        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::Noc {
                 channel,
@@ -350,7 +464,8 @@ impl StatsCollector {
                 instruction: instruction_payload,
             });
         }
-        for vs in &mut self.views {
+        let scratch = &mut self.scratch;
+        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
             let flit_bytes = vs.flit_bytes;
             if !header.is_empty() {
                 let ch = vs
@@ -362,18 +477,28 @@ impl StatsCollector {
             if payload.is_empty() {
                 continue;
             }
-            let mut data = payload.to_vec();
-            if instruction_payload {
-                if vs.view.isa {
-                    let coder = IsaCoder::new(vs.view.isa_mask);
-                    for c in data.chunks_exact_mut(8) {
-                        let w = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
-                        c.copy_from_slice(&coder.encode_instr(w).to_le_bytes());
+            // Encode into the reusable scratch buffer; views that leave the
+            // payload raw (e.g. the baseline) skip the copy entirely.
+            let data: &[u8] = if instruction_payload {
+                if let Some(isa) = vc.isa {
+                    scratch.clear();
+                    scratch.extend_from_slice(payload);
+                    for c in scratch.chunks_exact_mut(8) {
+                        let w = u64::from_le_bytes((&*c).try_into().expect("chunk of 8"));
+                        c.copy_from_slice(&isa.encode_instr(w).to_le_bytes());
                     }
+                    scratch
+                } else {
+                    payload
                 }
+            } else if vc.codes_data() {
+                scratch.clear();
+                scratch.extend_from_slice(payload);
+                vc.encode_data_line(scratch);
+                scratch
             } else {
-                encode_data_line(&vs.view, &mut data);
-            }
+                payload
+            };
             let ch = vs
                 .channels
                 .entry(channel)
@@ -385,7 +510,7 @@ impl StatsCollector {
             // idle state (all-ones), the standard bus convention — and the
             // one the BVF space's "mostly 1s" toggle argument (§3.2) rests
             // on. Identical consecutive idle flits cost nothing.
-            ch.send(&vec![0xff; flit_bytes]);
+            ch.send_splat(0xff);
         }
     }
 
@@ -408,18 +533,6 @@ impl StatsCollector {
             v.finish_noc();
         }
         self.views
-    }
-}
-
-fn encode_data_line(view: &CodingView, data: &mut [u8]) {
-    if !data.len().is_multiple_of(4) {
-        return; // headers-only payloads are not coded
-    }
-    if view.nv {
-        NvCoder.encode_bytes(data);
-    }
-    if view.vs {
-        VsCoder::for_cache_lines().encode_line_bytes(data);
     }
 }
 

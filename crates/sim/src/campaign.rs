@@ -278,6 +278,8 @@ impl Campaign {
             slowest,
             total_instructions,
             instructions_per_second: total_instructions as f64 / self.wall.as_secs_f64().max(1e-9),
+            serial_instructions_per_second: total_instructions as f64
+                / serial.as_secs_f64().max(1e-9),
         }
     }
 }
@@ -301,6 +303,11 @@ pub struct RunReport {
     pub total_instructions: u64,
     /// Aggregate simulator throughput over the campaign wall time.
     pub instructions_per_second: f64,
+    /// Per-worker simulator throughput (`total_instructions / serial_wall`).
+    /// Worker-count-independent, so it isolates the per-event hot-path cost
+    /// (the statistics collector) from the fan-out speedup — the number to
+    /// watch when optimizing the collector.
+    pub serial_instructions_per_second: f64,
 }
 
 impl core::fmt::Display for RunReport {
@@ -316,8 +323,10 @@ impl core::fmt::Display for RunReport {
         )?;
         write!(
             f,
-            "  serial estimate {:.3?}, speedup {:.2}x",
-            self.serial_wall, self.speedup
+            "  serial estimate {:.3?}, speedup {:.2}x, {:.1} M instr/s per worker",
+            self.serial_wall,
+            self.speedup,
+            self.serial_instructions_per_second / 1e6,
         )?;
         if let Some((code, wall)) = self.slowest {
             write!(f, ", slowest app {code} at {wall:.3?}")?;
