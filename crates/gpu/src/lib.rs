@@ -52,6 +52,7 @@ pub mod dram;
 pub mod exec;
 pub mod memory;
 pub mod noc;
+pub mod phase;
 #[cfg(test)]
 mod proptests;
 pub mod sched;
@@ -63,5 +64,6 @@ pub use cache::{Cache, CacheConfig};
 pub use config::{GpuConfig, SchedulerKind};
 pub use dram::{DramChannel, DramConfig, DramStats};
 pub use memory::GlobalMemory;
+pub use phase::{Phase, PhaseProfile, PhaseSlice};
 pub use sim::{Gpu, TraceSummary};
 pub use stats::{CodingView, UnitStats, ViewStats};

@@ -13,6 +13,7 @@ use bvf_bits::{BitCounts, NarrowValueProfile};
 use bvf_core::Unit;
 use bvf_isa::ir::{Kernel, LaunchConfig, Op};
 use bvf_isa::Architecture;
+use bvf_obs::{MetricsSink, Recorder};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{Access, Cache};
@@ -20,7 +21,8 @@ use crate::config::GpuConfig;
 use crate::dram::{DramChannel, DramConfig, DramRequest, DramStats};
 use crate::exec::{FlatProgram, StepResult, Warp, WarpEnv};
 use crate::memory::GlobalMemory;
-use crate::noc::{channel_id, cmd, header, Direction};
+use crate::noc::{channel_id, cmd, flits_for, header, Direction};
+use crate::phase::{PhaseProfile, SimMetrics};
 use crate::sched::Scheduler;
 use crate::stats::{AccessKind, CodingView, StatsCollector, ViewStats};
 
@@ -33,7 +35,7 @@ const INSTR_BASE: u64 = 1 << 40;
 const LANE_SAMPLE_INTERVAL: u64 = 8;
 
 /// Results of one kernel launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TraceSummary {
     /// Per-coding-view unit and NoC statistics.
     pub views: Vec<ViewStats>,
@@ -60,6 +62,30 @@ pub struct TraceSummary {
     pub smem_conflict_cycles: u64,
     /// Aggregate DRAM-channel statistics (FR-FCFS model).
     pub dram: DramStats,
+    /// Where the simulator's own wall time went (empty unless a metrics
+    /// sink was installed via [`Gpu::set_metrics`]).
+    pub profile: PhaseProfile,
+}
+
+/// Equality ignores the phase profile: two launches are the same *result*
+/// if every simulated counter agrees, however the simulator's own time was
+/// spent (and whether or not it was measured). This is what keeps
+/// instrumented and uninstrumented runs bit-comparable.
+impl PartialEq for TraceSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.views == other.views
+            && self.cycles == other.cycles
+            && self.dynamic_instructions == other.dynamic_instructions
+            && self.l1d_hit_rate == other.l1d_hit_rate
+            && self.l2_hit_rate == other.l2_hit_rate
+            && self.narrow == other.narrow
+            && self.data_bits == other.data_bits
+            && self.lane_profile == other.lane_profile
+            && self.optimal_lane == other.optimal_lane
+            && self.utilization == other.utilization
+            && self.smem_conflict_cycles == other.smem_conflict_cycles
+            && self.dram == other.dram
+    }
 }
 
 impl TraceSummary {
@@ -105,6 +131,11 @@ struct SharedState {
     l2: Vec<Cache>,
     dram: Vec<DramChannel>,
     l2_line_bytes: u32,
+    flit_bytes: usize,
+    /// Per-launch metrics recorder (no-op without a sink) and the ids it
+    /// records under.
+    rec: Recorder,
+    m: SimMetrics,
     narrow: NarrowValueProfile,
     data_bits: BitCounts,
     lane_sums: [u64; 32],
@@ -126,6 +157,64 @@ impl SharedState {
     #[inline]
     fn touch(&mut self, unit: Unit, line: u64) {
         self.touched[unit as usize].insert(line);
+    }
+
+    // Collector calls routed through the metrics recorder. Word-granular
+    // events (per-issue, per-register) only bump counters — a span's two
+    // clock reads would be measurable against their nanosecond bodies —
+    // while line-granular events (cache lines, NoC packets) are timed as
+    // the `stats_instr`/`stats_data` phases.
+
+    #[inline]
+    fn record_instruction(&mut self, unit: Unit, kind: AccessKind, word: u64) {
+        self.rec.add(self.m.instr_events, 1);
+        self.collector.record_instruction(unit, kind, word);
+    }
+
+    #[inline]
+    fn record_instruction_line(&mut self, unit: Unit, kind: AccessKind, words: &[u64]) {
+        let span = self.rec.begin(self.m.stats_instr);
+        self.collector.record_instruction_line(unit, kind, words);
+        self.rec.end(span);
+        self.rec.add(self.m.line_events, 1);
+    }
+
+    #[inline]
+    fn record_line(&mut self, unit: Unit, kind: AccessKind, line: &[u8]) {
+        let span = self.rec.begin(self.m.stats_data);
+        self.collector.record_line(unit, kind, line);
+        self.rec.end(span);
+        self.rec.add(self.m.line_events, 1);
+    }
+
+    #[inline]
+    fn record_noc_packet(
+        &mut self,
+        channel: u32,
+        header: &[u8],
+        payload: &[u8],
+        instruction_payload: bool,
+    ) {
+        let timer = if instruction_payload {
+            self.m.stats_instr
+        } else {
+            self.m.stats_data
+        };
+        let span = self.rec.begin(timer);
+        self.collector
+            .record_noc_packet(channel, header, payload, instruction_payload);
+        self.rec.end(span);
+        self.rec.add(self.m.noc_packets, 1);
+        self.rec.add(
+            self.m.noc_flits,
+            flits_for(payload.len(), self.flit_bytes) as u64,
+        );
+    }
+
+    #[inline]
+    fn dram_enqueue(&mut self, bank: u32, req: DramRequest) {
+        self.rec.add(self.m.dram_requests, 1);
+        self.dram[bank as usize].enqueue(req);
     }
 }
 
@@ -181,9 +270,7 @@ impl SmEnv<'_> {
         };
         match l1.access_allocate(line_addr) {
             Access::Hit => {
-                self.shared
-                    .collector
-                    .record_line(l1_unit, AccessKind::Read, &line);
+                self.shared.record_line(l1_unit, AccessKind::Read, &line);
             }
             Access::Miss { .. } => {
                 if l1_unit == Unit::L1d {
@@ -192,7 +279,7 @@ impl SmEnv<'_> {
                 // Request over the NoC to the owning L2 bank.
                 let bank = self.l2_bank_of(line_addr);
                 let req = header(cmd::READ_REQ, self.sm.id, bank, line_addr, self.warp_id);
-                self.shared.collector.record_noc_packet(
+                self.shared.record_noc_packet(
                     channel_id(self.sm.id, bank, Direction::Request),
                     &req,
                     &[],
@@ -201,19 +288,15 @@ impl SmEnv<'_> {
                 self.l2_read(bank, line_addr, &line);
                 // Reply carries the line back.
                 let rep = header(cmd::READ_REPLY, self.sm.id, bank, line_addr, self.warp_id);
-                self.shared.collector.record_noc_packet(
+                self.shared.record_noc_packet(
                     channel_id(self.sm.id, bank, Direction::Reply),
                     &rep,
                     &line,
                     false,
                 );
                 // Fill, then serve the read from L1.
-                self.shared
-                    .collector
-                    .record_line(l1_unit, AccessKind::Fill, &line);
-                self.shared
-                    .collector
-                    .record_line(l1_unit, AccessKind::Read, &line);
+                self.shared.record_line(l1_unit, AccessKind::Fill, &line);
+                self.shared.record_line(l1_unit, AccessKind::Read, &line);
             }
         }
         self.shared.line_buf = line;
@@ -223,21 +306,18 @@ impl SmEnv<'_> {
         self.shared.touch(Unit::L2, line_addr);
         match self.shared.l2[bank as usize].access_allocate(line_addr) {
             Access::Hit => {
-                self.shared
-                    .collector
-                    .record_line(Unit::L2, AccessKind::Read, line);
+                self.shared.record_line(Unit::L2, AccessKind::Read, line);
             }
             Access::Miss { .. } => {
-                self.shared.dram[bank as usize].enqueue(DramRequest {
-                    addr: line_addr,
-                    is_write: false,
-                });
-                self.shared
-                    .collector
-                    .record_line(Unit::L2, AccessKind::Fill, line);
-                self.shared
-                    .collector
-                    .record_line(Unit::L2, AccessKind::Read, line);
+                self.shared.dram_enqueue(
+                    bank,
+                    DramRequest {
+                        addr: line_addr,
+                        is_write: false,
+                    },
+                );
+                self.shared.record_line(Unit::L2, AccessKind::Fill, line);
+                self.shared.record_line(Unit::L2, AccessKind::Read, line);
             }
         }
     }
@@ -261,7 +341,7 @@ impl SmEnv<'_> {
         }
         let bank = self.l2_bank_of(line_addr);
         let req = header(cmd::WRITE_REQ, self.sm.id, bank, line_addr, self.warp_id);
-        self.shared.collector.record_noc_packet(
+        self.shared.record_noc_packet(
             channel_id(self.sm.id, bank, Direction::Request),
             &req,
             &line,
@@ -272,14 +352,15 @@ impl SmEnv<'_> {
             Access::Miss { .. }
         ) {
             // Write-allocate miss: the dirty line eventually writes back.
-            self.shared.dram[bank as usize].enqueue(DramRequest {
-                addr: line_addr,
-                is_write: true,
-            });
+            self.shared.dram_enqueue(
+                bank,
+                DramRequest {
+                    addr: line_addr,
+                    is_write: true,
+                },
+            );
         }
-        self.shared
-            .collector
-            .record_line(Unit::L2, AccessKind::Write, &line);
+        self.shared.record_line(Unit::L2, AccessKind::Write, &line);
         self.shared.line_buf = line;
     }
 
@@ -317,12 +398,16 @@ impl WarpEnv for SmEnv<'_> {
     }
 
     fn on_reg_read(&mut self, reg_lanes: &[u32; 32], active: u32) {
+        // Counter only: a span's two clock reads would dominate this
+        // word-granular hot path.
+        self.shared.rec.add(self.shared.m.reg_events, 1);
         self.shared
             .collector
             .record_register(AccessKind::Read, reg_lanes, active);
     }
 
     fn on_reg_write(&mut self, reg_lanes: &[u32; 32], active: u32, pivot_divergent: bool) {
+        self.shared.rec.add(self.shared.m.reg_events, 1);
         self.shared
             .collector
             .record_register(AccessKind::Write, reg_lanes, active);
@@ -351,23 +436,22 @@ impl WarpEnv for SmEnv<'_> {
     }
 
     fn on_ifetch(&mut self, pc: usize, word: u64) {
+        let span = self.shared.rec.begin(self.shared.m.ifetch);
         // Instruction fetch buffer sees every issue.
         self.shared
-            .collector
             .record_instruction(Unit::Ifb, AccessKind::Read, word);
         let addr = INSTR_BASE + pc as u64 * 8;
         self.shared.touch(Unit::L1i, addr & !127);
         match self.sm.l1i.access_allocate(addr) {
             Access::Hit => {
                 self.shared
-                    .collector
                     .record_instruction(Unit::L1i, AccessKind::Read, word);
             }
             Access::Miss { .. } => {
                 // Fetch the whole 128B (16-instruction) line from L2.
                 let bank = self.l2_bank_of(addr & !127);
                 let req = header(cmd::IFETCH_REQ, self.sm.id, bank, addr, self.warp_id);
-                self.shared.collector.record_noc_packet(
+                self.shared.record_noc_packet(
                     channel_id(self.sm.id, bank, Direction::Request),
                     &req,
                     &[],
@@ -379,10 +463,13 @@ impl WarpEnv for SmEnv<'_> {
                     self.shared.l2[bank as usize].access_allocate(addr & !127),
                     Access::Miss { .. }
                 ) {
-                    self.shared.dram[bank as usize].enqueue(DramRequest {
-                        addr: addr & !127,
-                        is_write: false,
-                    });
+                    self.shared.dram_enqueue(
+                        bank,
+                        DramRequest {
+                            addr: addr & !127,
+                            is_write: false,
+                        },
+                    );
                 }
                 let mut line_words = std::mem::take(&mut self.shared.instr_buf);
                 line_words.clear();
@@ -392,30 +479,24 @@ impl WarpEnv for SmEnv<'_> {
                 for w in &line_words {
                     payload.extend_from_slice(&w.to_le_bytes());
                 }
-                self.shared.collector.record_instruction_line(
-                    Unit::L2,
-                    AccessKind::Read,
-                    &line_words,
-                );
+                self.shared
+                    .record_instruction_line(Unit::L2, AccessKind::Read, &line_words);
                 let rep = header(cmd::IFETCH_REPLY, self.sm.id, bank, addr, self.warp_id);
-                self.shared.collector.record_noc_packet(
+                self.shared.record_noc_packet(
                     channel_id(self.sm.id, bank, Direction::Reply),
                     &rep,
                     &payload,
                     true,
                 );
-                self.shared.collector.record_instruction_line(
-                    Unit::L1i,
-                    AccessKind::Fill,
-                    &line_words,
-                );
+                self.shared
+                    .record_instruction_line(Unit::L1i, AccessKind::Fill, &line_words);
                 self.shared.instr_buf = line_words;
                 self.shared.payload_buf = payload;
                 self.shared
-                    .collector
                     .record_instruction(Unit::L1i, AccessKind::Read, word);
             }
         }
+        self.shared.rec.end(span);
     }
 
     fn global_access(
@@ -433,6 +514,7 @@ impl WarpEnv for SmEnv<'_> {
         };
         let line_bytes = u64::from(self.shared.l2_line_bytes);
         let mut out = [0u32; 32];
+        let span = self.shared.rec.begin(self.shared.m.gmem);
 
         if let Some(values) = data {
             // Store: update memory first, then coalesce lines to L2.
@@ -461,6 +543,7 @@ impl WarpEnv for SmEnv<'_> {
                 self.data_line_load(l1_unit, line);
             }
         }
+        self.shared.rec.end(span);
         out
     }
 
@@ -473,6 +556,7 @@ impl WarpEnv for SmEnv<'_> {
     ) -> [u32; 32] {
         let n = self.smem.len().max(1);
         let mut out = [0u32; 32];
+        let span = self.shared.rec.begin(self.shared.m.smem);
         // Bank-conflict serialization estimate (reused scratch — zeroing a
         // handful of words beats reallocating per access).
         let bank_count = &mut self.shared.bank_buf;
@@ -494,6 +578,7 @@ impl WarpEnv for SmEnv<'_> {
                     self.smem[indices[lane] as usize % n] = values[lane];
                 }
             }
+            self.shared.rec.add(self.shared.m.smem_events, 1);
             self.shared
                 .collector
                 .record_shared(AccessKind::Write, values, active);
@@ -503,10 +588,12 @@ impl WarpEnv for SmEnv<'_> {
                     out[lane] = self.smem[indices[lane] as usize % n];
                 }
             }
+            self.shared.rec.add(self.shared.m.smem_events, 1);
             self.shared
                 .collector
                 .record_shared(AccessKind::Read, &out, active);
         }
+        self.shared.rec.end(span);
         out
     }
 }
@@ -520,6 +607,7 @@ pub struct Gpu {
     views: Vec<CodingView>,
     trace_logging: bool,
     last_log: Option<crate::trace::TraceLog>,
+    metrics: MetricsSink,
 }
 
 impl Gpu {
@@ -537,7 +625,16 @@ impl Gpu {
             views,
             trace_logging: false,
             last_log: None,
+            metrics: MetricsSink::disabled(),
         }
+    }
+
+    /// Install a metrics sink: subsequent launches time their phases
+    /// (reported as [`TraceSummary::profile`]) and aggregate counters into
+    /// `sink`. The default sink is disabled and every probe is a no-op;
+    /// profiling never changes simulation results.
+    pub fn set_metrics(&mut self, sink: MetricsSink) {
+        self.metrics = sink;
     }
 
     /// Record the full raw event stream of subsequent launches (the
@@ -598,6 +695,9 @@ impl Gpu {
         if self.trace_logging {
             collector = collector.with_trace_log();
         }
+        let m = SimMetrics::register(&self.metrics);
+        let rec = self.metrics.recorder();
+        let launch_span = rec.begin(m.launch);
         let mut shared = SharedState {
             collector,
             memory: std::mem::take(&mut self.memory),
@@ -606,6 +706,9 @@ impl Gpu {
                 .map(|_| DramChannel::new(DramConfig::default()))
                 .collect(),
             l2_line_bytes: cfg.l2_bank.line_bytes(),
+            flit_bytes: cfg.noc_flit_bytes,
+            rec,
+            m,
             narrow: NarrowValueProfile::new(),
             data_bits: BitCounts::default(),
             lane_sums: [0; 32],
@@ -660,6 +763,7 @@ impl Gpu {
 
         // Drain the DRAM channels; the busiest channel bounds the memory
         // time, largely overlapped with execution by multithreading.
+        let drain_span = shared.rec.begin(shared.m.dram);
         let mut dram_stats = DramStats::default();
         let mut dram_max_busy = 0u64;
         for ch in &mut shared.dram {
@@ -671,6 +775,7 @@ impl Gpu {
             dram_stats.reorders += s.reorders;
             dram_max_busy = dram_max_busy.max(s.busy_cycles);
         }
+        shared.rec.end(drain_span);
         let dram_exposed = (dram_max_busy as f64 * (1.0 - cfg.scheduler.latency_hiding())) as u64;
 
         // Restore memory so callers can inspect results and relaunch.
@@ -691,6 +796,10 @@ impl Gpu {
 
         let utilization = self.utilization(&shared, &prog, lc, concurrent_ctas, warps_per_cta);
 
+        shared.rec.end(launch_span);
+        let profile = PhaseProfile::from_recorder(&shared.rec, &shared.m);
+        shared.rec.flush();
+
         self.last_log = shared.collector.take_log();
         TraceSummary {
             views: shared.collector.finish(),
@@ -705,6 +814,7 @@ impl Gpu {
             utilization,
             smem_conflict_cycles: shared.smem_conflict_cycles,
             dram: dram_stats,
+            profile,
         }
     }
 
@@ -765,6 +875,7 @@ impl Gpu {
 
             sm.issues += 1;
             let slot = warp_cta_slot[wi];
+            let step_span = shared.rec.begin(shared.m.step);
             let result = {
                 let mut env = SmEnv {
                     shared,
@@ -776,6 +887,7 @@ impl Gpu {
                 };
                 warps[wi].step(prog, &mut env)
             };
+            shared.rec.end(step_span);
             match result {
                 StepResult::Ok => {}
                 StepResult::Memory => sm.scheduler.on_stall(wi),
@@ -899,6 +1011,7 @@ fn clamp01(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::phase::Phase;
     use bvf_isa::ir::{BufferId, CmpOp, Cond, Operand, Special, Stmt};
 
     /// Compile-time audit: the campaign engine in `bvf-sim` runs one `Gpu`
@@ -1212,5 +1325,76 @@ mod tests {
         );
         // ...but a different issue interleaving (GTO drains one warp first).
         assert_ne!(gto.cycles, lrr.cycles);
+    }
+
+    #[test]
+    fn profiling_is_off_by_default() {
+        let mut gpu = small_gpu();
+        gpu.memory_mut().add_buffer(BufferId(0), vec![1; 64]);
+        gpu.memory_mut().add_buffer(BufferId(1), vec![2; 64]);
+        gpu.memory_mut().add_buffer(BufferId(2), vec![0; 64]);
+        let summary = gpu.launch(&vecadd_kernel(), LaunchConfig::new(2, 32));
+        assert!(!summary.profile.is_enabled());
+        assert_eq!(summary.profile, PhaseProfile::empty());
+    }
+
+    #[test]
+    fn metrics_do_not_change_results() {
+        let run = |sink: Option<MetricsSink>| {
+            let mut gpu = small_gpu();
+            if let Some(s) = sink {
+                gpu.set_metrics(s);
+            }
+            gpu.memory_mut()
+                .add_buffer(BufferId(0), (0..256u32).map(|i| i ^ 0x55).collect());
+            gpu.memory_mut().add_buffer(BufferId(1), vec![7; 256]);
+            gpu.memory_mut().add_buffer(BufferId(2), vec![0; 256]);
+            gpu.launch(&vecadd_kernel(), LaunchConfig::new(8, 32))
+        };
+        let plain = run(None);
+        let profiled = run(Some(MetricsSink::enabled()));
+        // TraceSummary equality ignores the profile — everything the
+        // simulation computes must be bit-identical.
+        assert_eq!(plain, profiled);
+        assert!(profiled.profile.is_enabled());
+        assert!(!plain.profile.is_enabled());
+        assert_eq!(profiled.profile.slices.len(), 7);
+        let total: u64 = profiled.profile.slices.iter().map(|s| s.nanos).sum();
+        assert!(total <= profiled.profile.launch_nanos);
+        assert_eq!(
+            profiled.profile.slice(Phase::Exec).unwrap().events,
+            profiled.dynamic_instructions
+        );
+    }
+
+    #[test]
+    fn sink_aggregates_launch_metrics() {
+        let sink = MetricsSink::enabled();
+        let mut gpu = small_gpu();
+        gpu.set_metrics(sink.clone());
+        gpu.memory_mut()
+            .add_buffer(BufferId(0), (0..128u32).collect());
+        gpu.memory_mut().add_buffer(BufferId(1), vec![3; 128]);
+        gpu.memory_mut().add_buffer(BufferId(2), vec![0; 128]);
+        let summary = gpu.launch(&vecadd_kernel(), LaunchConfig::new(4, 32));
+        // The recorder flushed at end of launch: cross-launch aggregates on
+        // the sink match the summary.
+        let step = sink.timer("sim.step");
+        assert_eq!(sink.timer_value(step).1, summary.dynamic_instructions);
+        let dram_reqs = sink.counter("dram.requests");
+        assert_eq!(sink.counter_value(dram_reqs), summary.dram.requests);
+        assert!(!sink.snapshot().is_empty());
+        // A second simulator sharing the sink keeps accumulating into it —
+        // the campaign engine's per-worker `Gpu`s all feed one sink.
+        let mut gpu2 = small_gpu();
+        gpu2.set_metrics(sink.clone());
+        gpu2.memory_mut().add_buffer(BufferId(0), vec![1; 128]);
+        gpu2.memory_mut().add_buffer(BufferId(1), vec![1; 128]);
+        gpu2.memory_mut().add_buffer(BufferId(2), vec![0; 128]);
+        let again = gpu2.launch(&vecadd_kernel(), LaunchConfig::new(4, 32));
+        assert_eq!(
+            sink.timer_value(step).1,
+            summary.dynamic_instructions + again.dynamic_instructions
+        );
     }
 }

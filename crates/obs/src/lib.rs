@@ -1,0 +1,36 @@
+//! Observability layer for the BVF reproduction: cheap metrics and
+//! machine-readable telemetry, with zero dependencies beyond `std`.
+//!
+//! The workspace builds in environments where the crates.io registry is
+//! unreachable, so this crate hand-rolls the three pieces a metrics stack
+//! normally imports:
+//!
+//! * [`metrics`] — span timers, counters, and log2 histograms behind a
+//!   [`MetricsSink`] handle. A *disabled* sink turns every record call into
+//!   a branch on a `None` — the instrumented hot paths stay allocation-free
+//!   and effectively free. An *enabled* sink hands out per-thread
+//!   [`Recorder`]s that accumulate into plain local integers and flush into
+//!   shared atomics, so cross-worker aggregation is lock-free and workers
+//!   never contend on the hot path.
+//! * [`jsonl`] — a JSON-lines record builder (hand-rolled serialization in
+//!   the style of `bvf_sim::Table::to_json`) for run telemetry that other
+//!   tools can parse.
+//! * [`json`] — a minimal JSON parser, used to *validate* emitted telemetry
+//!   (CI checks every line parses and carries the required keys) and to
+//!   compare telemetry streams modulo their timing fields in tests.
+//!
+//! The intended wiring: the campaign driver builds one enabled sink, every
+//! simulator worker instruments its phases through a recorder, and the
+//! driver snapshots the aggregate or emits JSON-lines records at the end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod jsonl;
+pub mod metrics;
+
+pub use jsonl::Record;
+pub use metrics::{
+    CounterId, HistogramId, MetricSnapshot, MetricValue, MetricsSink, Recorder, Span, TimerId,
+};

@@ -1,0 +1,597 @@
+//! Span timers, counters, and log2 histograms.
+//!
+//! Metrics are identified by `&'static str` names and registered against a
+//! [`MetricsSink`]. Registration (rare, setup-time) takes a mutex;
+//! recording (the hot path) touches only a per-thread [`Recorder`]'s plain
+//! integers; aggregation ([`Recorder::flush`], called at natural
+//! work-item boundaries and on drop) is a series of `fetch_add`s into a
+//! fixed slab of shared atomics — lock-free, so workers never block each
+//! other however often they flush.
+//!
+//! A sink built with [`MetricsSink::disabled`] makes every operation a
+//! no-op behind a single branch: ids are dummies, recorders hold no
+//! storage, and snapshots are empty. Instrumented code therefore never
+//! needs its own `if profiling { … }` guards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Buckets per histogram: bucket `b` counts values in `[2^(b-1), 2^b)`
+/// (bucket 0 counts zeros), which covers `u64` values up to `2^31`-ish
+/// comfortably for the nanosecond/byte magnitudes recorded here; larger
+/// values clamp into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Fixed slab capacity, in `u64` slots, of one enabled sink. A counter
+/// takes 1 slot, a timer 2, a histogram `2 + HISTOGRAM_BUCKETS`; the cap
+/// exists so aggregation storage never reallocates (reallocating under
+/// concurrent `fetch_add` would need locking).
+const SLOT_CAPACITY: usize = 4096;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a registered span timer (accumulated nanoseconds + count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId(u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Timer,
+    Histogram,
+}
+
+fn slot_width(kind: Kind) -> u32 {
+    match kind {
+        Kind::Counter => 1,
+        Kind::Timer => 2,                                // nanos, count
+        Kind::Histogram => 2 + HISTOGRAM_BUCKETS as u32, // count, sum, buckets
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+#[derive(Debug)]
+struct MetricDef {
+    name: &'static str,
+    kind: Kind,
+    base: u32,
+}
+
+struct Shared {
+    defs: Mutex<Vec<MetricDef>>,
+    slots: Box<[AtomicU64]>,
+}
+
+impl Shared {
+    fn register(&self, name: &'static str, kind: Kind) -> u32 {
+        let mut defs = self.defs.lock().expect("metric registry poisoned");
+        if let Some(d) = defs.iter().find(|d| d.name == name) {
+            assert!(
+                d.kind == kind,
+                "metric {name:?} re-registered with a different kind"
+            );
+            return d.base;
+        }
+        let base = defs
+            .last()
+            .map(|d| d.base + slot_width(d.kind))
+            .unwrap_or(0);
+        assert!(
+            (base + slot_width(kind)) as usize <= SLOT_CAPACITY,
+            "metric slot capacity ({SLOT_CAPACITY}) exhausted registering {name:?}"
+        );
+        defs.push(MetricDef { name, kind, base });
+        base
+    }
+
+    /// Slots in use (defs lock held briefly; callers are setup paths).
+    fn used(&self) -> usize {
+        let defs = self.defs.lock().expect("metric registry poisoned");
+        defs.last()
+            .map(|d| (d.base + slot_width(d.kind)) as usize)
+            .unwrap_or(0)
+    }
+}
+
+/// A cloneable handle to a metrics aggregate — or to nothing at all.
+///
+/// Cloning an enabled sink shares the same aggregate (it is an `Arc`
+/// internally), so a campaign can hand one sink to every worker and read a
+/// combined [`MetricsSink::snapshot`] at the end.
+#[derive(Clone, Default)]
+pub struct MetricsSink {
+    shared: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for MetricsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSink")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl MetricsSink {
+    /// The no-op sink: every id is a dummy, every record call a no-op.
+    pub fn disabled() -> Self {
+        Self { shared: None }
+    }
+
+    /// A live sink with a fresh, empty aggregate.
+    pub fn enabled() -> Self {
+        Self {
+            shared: Some(Arc::new(Shared {
+                defs: Mutex::new(Vec::new()),
+                slots: (0..SLOT_CAPACITY).map(|_| AtomicU64::new(0)).collect(),
+            })),
+        }
+    }
+
+    /// Is this a live sink?
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Register (or look up) a counter by name.
+    pub fn counter(&self, name: &'static str) -> CounterId {
+        CounterId(match &self.shared {
+            Some(s) => s.register(name, Kind::Counter),
+            None => 0,
+        })
+    }
+
+    /// Register (or look up) a span timer by name.
+    pub fn timer(&self, name: &'static str) -> TimerId {
+        TimerId(match &self.shared {
+            Some(s) => s.register(name, Kind::Timer),
+            None => 0,
+        })
+    }
+
+    /// Register (or look up) a histogram by name.
+    pub fn histogram(&self, name: &'static str) -> HistogramId {
+        HistogramId(match &self.shared {
+            Some(s) => s.register(name, Kind::Histogram),
+            None => 0,
+        })
+    }
+
+    /// A recorder for the calling thread. Register the metrics it will
+    /// touch *before* creating it, so its local storage is sized once and
+    /// the record path never grows it.
+    pub fn recorder(&self) -> Recorder {
+        Recorder {
+            local: match &self.shared {
+                Some(s) => vec![0; s.used()],
+                None => Vec::new(),
+            },
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Add to a counter directly in the shared aggregate (one `fetch_add`).
+    /// For cross-worker live values read while workers still run — per-event
+    /// hot paths should go through a [`Recorder`] instead.
+    pub fn add(&self, c: CounterId, n: u64) {
+        if let Some(s) = &self.shared {
+            s.slots[c.0 as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current aggregated value of a counter (0 on a disabled sink).
+    pub fn counter_value(&self, c: CounterId) -> u64 {
+        match &self.shared {
+            Some(s) => s.slots[c.0 as usize].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Current aggregated (nanos, count) of a timer (zeros on a disabled
+    /// sink).
+    pub fn timer_value(&self, t: TimerId) -> (u64, u64) {
+        match &self.shared {
+            Some(s) => (
+                s.slots[t.0 as usize].load(Ordering::Relaxed),
+                s.slots[t.0 as usize + 1].load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// Every registered metric with its aggregated value, in registration
+    /// order. Empty for a disabled sink.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let Some(s) = &self.shared else {
+            return Vec::new();
+        };
+        let defs = s.defs.lock().expect("metric registry poisoned");
+        defs.iter()
+            .map(|d| {
+                let at = |off: u32| s.slots[(d.base + off) as usize].load(Ordering::Relaxed);
+                let value = match d.kind {
+                    Kind::Counter => MetricValue::Counter(at(0)),
+                    Kind::Timer => MetricValue::Timer {
+                        nanos: at(0),
+                        count: at(1),
+                    },
+                    Kind::Histogram => MetricValue::Histogram {
+                        count: at(0),
+                        sum: at(1),
+                        buckets: Box::new(core::array::from_fn(|b| at(2 + b as u32))),
+                    },
+                };
+                MetricSnapshot {
+                    name: d.name,
+                    value,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One metric's aggregated state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// The name the metric was registered under.
+    pub name: &'static str,
+    /// Its aggregated value.
+    pub value: MetricValue,
+}
+
+/// Aggregated value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Accumulated span time and number of spans.
+    Timer {
+        /// Total nanoseconds across all closed spans.
+        nanos: u64,
+        /// Number of closed spans.
+        count: u64,
+    },
+    /// Log2-bucketed value distribution.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Bucket `b` counts observations in `[2^(b-1), 2^b)`. Boxed so
+        /// the variant doesn't dominate the enum's size.
+        buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
+    },
+}
+
+impl MetricValue {
+    /// Mean observed value for histograms/timers, `None` for counters or
+    /// empty series.
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            MetricValue::Counter(_) => None,
+            MetricValue::Timer { nanos, count } => {
+                (*count > 0).then(|| *nanos as f64 / *count as f64)
+            }
+            MetricValue::Histogram { count, sum, .. } => {
+                (*count > 0).then(|| *sum as f64 / *count as f64)
+            }
+        }
+    }
+}
+
+/// An open span handle: holds the start instant (or nothing, when the sink
+/// is disabled). `Copy`, so it can be parked in a local while the recorder
+/// is borrowed by nested work, then closed with [`Recorder::end`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span only records when closed with Recorder::end"]
+pub struct Span {
+    timer: TimerId,
+    start: Option<Instant>,
+}
+
+/// Per-thread metric accumulator (see module docs). Dropping a recorder
+/// flushes it.
+pub struct Recorder {
+    shared: Option<Arc<Shared>>,
+    local: Vec<u64>,
+}
+
+impl Recorder {
+    #[inline]
+    fn slot(&mut self, i: usize) -> &mut u64 {
+        // Ids registered after this recorder was created land past the end;
+        // growing here keeps the common path (pre-registered ids) a plain
+        // index.
+        if i >= self.local.len() {
+            self.local.resize(i + 1, 0);
+        }
+        &mut self.local[i]
+    }
+
+    /// Is the underlying sink live?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Open a span on `timer`. Reads the monotonic clock once iff enabled.
+    #[inline]
+    pub fn begin(&self, timer: TimerId) -> Span {
+        Span {
+            timer,
+            start: if self.shared.is_some() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Close `span`, accumulating its elapsed time locally.
+    #[inline]
+    pub fn end(&mut self, span: Span) {
+        if let Some(t0) = span.start {
+            let ns = t0.elapsed().as_nanos() as u64;
+            let base = span.timer.0 as usize;
+            *self.slot(base) += ns;
+            *self.slot(base + 1) += 1;
+        }
+    }
+
+    /// Add `n` to a counter (a plain local add when enabled).
+    #[inline]
+    pub fn add(&mut self, c: CounterId, n: u64) {
+        if self.shared.is_some() {
+            *self.slot(c.0 as usize) += n;
+        }
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, h: HistogramId, v: u64) {
+        if self.shared.is_some() {
+            let base = h.0 as usize;
+            *self.slot(base) += 1;
+            *self.slot(base + 1) += v;
+            *self.slot(base + 2 + bucket_of(v)) += 1;
+        }
+    }
+
+    /// This recorder's unflushed nanoseconds on `timer`.
+    pub fn timer_nanos(&self, t: TimerId) -> u64 {
+        if self.shared.is_some() {
+            self.local.get(t.0 as usize).copied().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// This recorder's unflushed span count on `timer`.
+    pub fn timer_count(&self, t: TimerId) -> u64 {
+        if self.shared.is_some() {
+            self.local.get(t.0 as usize + 1).copied().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// This recorder's unflushed value of a counter.
+    pub fn counter_value(&self, c: CounterId) -> u64 {
+        if self.shared.is_some() {
+            self.local.get(c.0 as usize).copied().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Push every locally accumulated value into the shared aggregate
+    /// (lock-free: one `fetch_add` per touched slot) and reset the locals.
+    pub fn flush(&mut self) {
+        if let Some(s) = &self.shared {
+            for (i, v) in self.local.iter_mut().enumerate() {
+                if *v != 0 {
+                    s.slots[i].fetch_add(*v, Ordering::Relaxed);
+                    *v = 0;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_timers_aggregate_through_flush() {
+        let sink = MetricsSink::enabled();
+        let c = sink.counter("events");
+        let t = sink.timer("work");
+        let mut rec = sink.recorder();
+        rec.add(c, 3);
+        rec.add(c, 4);
+        let span = rec.begin(t);
+        std::thread::sleep(std::time::Duration::from_micros(50));
+        rec.end(span);
+        assert_eq!(rec.counter_value(c), 7);
+        assert_eq!(rec.timer_count(t), 1);
+        assert!(rec.timer_nanos(t) > 0);
+        // Nothing shared until flush.
+        assert_eq!(sink.counter_value(c), 0);
+        rec.flush();
+        assert_eq!(sink.counter_value(c), 7);
+        let (ns, n) = sink.timer_value(t);
+        assert_eq!(n, 1);
+        assert!(ns >= 50_000, "span under-measured: {ns}ns");
+        // Locals reset by flush; a second flush adds nothing.
+        rec.flush();
+        assert_eq!(sink.counter_value(c), 7);
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let sink = MetricsSink::enabled();
+        let c = sink.counter("drops");
+        {
+            let mut rec = sink.recorder();
+            rec.add(c, 11);
+        }
+        assert_eq!(sink.counter_value(c), 11);
+    }
+
+    #[test]
+    fn aggregation_across_threads_is_exact() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let sink = MetricsSink::enabled();
+        let c = sink.counter("spins");
+        let t = sink.timer("spans");
+        let h = sink.histogram("values");
+        std::thread::scope(|scope| {
+            for k in 0..THREADS {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    let mut rec = sink.recorder();
+                    for i in 0..PER_THREAD {
+                        rec.add(c, 1);
+                        rec.observe(h, k * PER_THREAD + i);
+                        let span = rec.begin(t);
+                        rec.end(span);
+                    }
+                    // rec drops → flush
+                });
+            }
+        });
+        assert_eq!(sink.counter_value(c), THREADS * PER_THREAD);
+        let (_, spans) = sink.timer_value(t);
+        assert_eq!(spans, THREADS * PER_THREAD);
+        let snap = sink.snapshot();
+        let hist = snap.iter().find(|m| m.name == "values").expect("hist");
+        match &hist.value {
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                assert_eq!(*count, THREADS * PER_THREAD);
+                let n = THREADS * PER_THREAD;
+                assert_eq!(*sum, n * (n - 1) / 2);
+                assert_eq!(buckets.iter().sum::<u64>(), n);
+            }
+            v => panic!("wrong kind: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = MetricsSink::disabled();
+        assert!(!sink.is_enabled());
+        let c = sink.counter("a");
+        let t = sink.timer("b");
+        let h = sink.histogram("c");
+        let mut rec = sink.recorder();
+        assert!(!rec.is_enabled());
+        rec.add(c, 5);
+        rec.observe(h, 123);
+        let span = rec.begin(t);
+        rec.end(span);
+        rec.flush();
+        sink.add(c, 9);
+        assert_eq!(rec.counter_value(c), 0);
+        assert_eq!(rec.timer_nanos(t), 0);
+        assert_eq!(sink.counter_value(c), 0);
+        assert_eq!(sink.timer_value(t), (0, 0));
+        assert!(sink.snapshot().is_empty(), "disabled sink must stay empty");
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_kind_checked() {
+        let sink = MetricsSink::enabled();
+        let a = sink.counter("x");
+        let b = sink.counter("x");
+        assert_eq!(a, b);
+        let t1 = sink.timer("y");
+        let t2 = sink.timer("y");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let sink = MetricsSink::enabled();
+        let _ = sink.counter("same");
+        let _ = sink.timer("same");
+    }
+
+    #[test]
+    fn late_registration_still_records() {
+        let sink = MetricsSink::enabled();
+        let mut rec = sink.recorder(); // before any registration
+        let c = sink.counter("late");
+        rec.add(c, 2);
+        rec.flush();
+        assert_eq!(sink.counter_value(c), 2);
+    }
+
+    #[test]
+    fn direct_add_is_visible_immediately() {
+        let sink = MetricsSink::enabled();
+        let c = sink.counter("live");
+        sink.add(c, 10);
+        sink.add(c, 5);
+        assert_eq!(sink.counter_value(c), 15);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let sink = MetricsSink::enabled();
+        sink.counter("first");
+        sink.timer("second");
+        sink.histogram("third");
+        let names: Vec<_> = sink.snapshot().iter().map(|m| m.name).collect();
+        assert_eq!(names, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(MetricValue::Counter(3).mean(), None);
+        assert_eq!(
+            MetricValue::Timer {
+                nanos: 90,
+                count: 3
+            }
+            .mean(),
+            Some(30.0)
+        );
+        assert_eq!(
+            MetricValue::Timer { nanos: 0, count: 0 }.mean(),
+            None,
+            "empty timer has no mean"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Validate a `reproduce --metrics` JSON-lines file.
+//!
+//! ```text
+//! cargo run -p bvf-sim --example validate_metrics -- out.jsonl
+//! ```
+//!
+//! Every line must parse as a JSON object carrying a known `"record"` kind
+//! and that kind's required keys (timing fields included). Exits 1 with a
+//! line-numbered message on the first malformed record, so CI can gate on
+//! the telemetry stream staying well-formed.
+
+use bvf_obs::json::{self, Value};
+
+/// Required top-level keys per record kind (`"record"` itself is implied).
+fn required_keys(kind: &str) -> Option<&'static [&'static str]> {
+    match kind {
+        "app" => Some(&[
+            "campaign",
+            "app",
+            "name",
+            "cycles",
+            "instructions",
+            "l1d_hit_rate",
+            "l2_hit_rate",
+            "dram_requests",
+            "timing",
+        ]),
+        "campaign" => Some(&[
+            "campaign",
+            "apps",
+            "isa_mask",
+            "total_instructions",
+            "timing",
+        ]),
+        "exhibit" => Some(&["exhibit", "table"]),
+        _ => None,
+    }
+}
+
+fn check_line(line: &str) -> Result<&'static str, String> {
+    let v = json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Some(kind) = v.get("record").and_then(Value::as_str) else {
+        return Err("missing string key \"record\"".to_string());
+    };
+    let Some(required) = required_keys(kind) else {
+        return Err(format!("unknown record kind {kind:?}"));
+    };
+    for key in required {
+        if v.get(key).is_none() {
+            return Err(format!("{kind:?} record missing key {key:?}"));
+        }
+    }
+    // Timing must be an object (the scrub point for determinism diffs);
+    // exhibit tables must carry their row/column structure.
+    if required.contains(&"timing") && !matches!(v.get("timing"), Some(Value::Object(_))) {
+        return Err(format!("{kind:?} record's \"timing\" is not an object"));
+    }
+    if kind == "exhibit" {
+        let table = v.get("table").expect("checked above");
+        for key in ["id", "title", "columns", "rows"] {
+            if table.get(key).is_none() {
+                return Err(format!("exhibit table missing key {key:?}"));
+            }
+        }
+    }
+    Ok(match kind {
+        "app" => "app",
+        "campaign" => "campaign",
+        _ => "exhibit",
+    })
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: validate_metrics FILE.jsonl");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path:?}: {e}");
+        std::process::exit(2);
+    });
+    let (mut apps, mut campaigns, mut exhibits) = (0u64, 0u64, 0u64);
+    for (i, line) in text.lines().enumerate() {
+        match check_line(line) {
+            Ok("app") => apps += 1,
+            Ok("campaign") => campaigns += 1,
+            Ok(_) => exhibits += 1,
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", i + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    if apps + campaigns + exhibits == 0 {
+        eprintln!("{path}: no records");
+        std::process::exit(1);
+    }
+    println!("{path}: {apps} app, {campaigns} campaign, {exhibits} exhibit records — all valid");
+}

@@ -7,6 +7,10 @@
 //! cargo run --release -p bvf-sim --bin reproduce -- --jobs 1        # sequential
 //! cargo run --release -p bvf-sim --bin reproduce -- --export DIR    # also write
 //!                                                   # one .csv + .json per exhibit
+//! cargo run --release -p bvf-sim --bin reproduce -- --progress      # heartbeat line
+//! cargo run --release -p bvf-sim --bin reproduce -- --profile       # phase breakdown
+//! cargo run --release -p bvf-sim --bin reproduce -- --metrics F     # append JSONL
+//!                                                   # telemetry records to F
 //! ```
 //!
 //! The full run executes five campaigns over the 58 applications (baseline,
@@ -15,88 +19,242 @@
 //! worker pool — one worker per core unless `--jobs N` pins the count — and
 //! each prints a `campaign:` run report to stderr. The output of this binary
 //! is the source of `EXPERIMENTS.md`.
+//!
+//! Observability flags never change what is computed: exhibit tables on
+//! stdout are bit-identical with and without them. `--progress` and
+//! `--profile` write to stderr; `--metrics FILE` appends one JSON object
+//! per line (`"app"`, `"campaign"`, and `"exhibit"` records — see
+//! `bvf_sim::metrics`), with every run-dependent field nested under the
+//! record's `"timing"` key so telemetry from different worker counts can be
+//! diffed after scrubbing it.
+
+use std::io::Write;
 
 use bvf_circuit::ProcessNode;
 use bvf_gpu::{GpuConfig, SchedulerKind};
 use bvf_sim::figures::{ablation, circuit, energy, overhead, profile, sensitivity};
-use bvf_sim::{Campaign, Parallelism};
+use bvf_sim::{metrics, Campaign, CampaignOptions, Parallelism};
 use bvf_workloads::Application;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "quick");
-    let export_dir = args
-        .iter()
-        .position(|a| a == "--export")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let par = match args.iter().position(|a| a == "--jobs") {
-        None => Parallelism::Auto,
-        Some(i) => {
-            let n: usize = args
-                .get(i + 1)
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("--jobs needs a positive integer (e.g. --jobs 8)");
-                    std::process::exit(2);
-                });
-            if n == 1 {
-                Parallelism::Sequential
-            } else {
-                Parallelism::Fixed(n)
-            }
+const USAGE: &str =
+    "usage: reproduce [quick] [--jobs N] [--export DIR] [--metrics FILE] [--progress] [--profile]
+
+  quick           smoke subset (6 apps, 2 SMs) instead of the full 58-app run
+  --jobs N        worker count (N >= 1; 1 = sequential)
+  --export DIR    also write one .csv + .json per exhibit into DIR
+  --metrics FILE  append JSON-lines telemetry (app/campaign/exhibit records)
+  --progress      live heartbeat line on stderr while campaigns run
+  --profile       per-phase simulator time breakdown per campaign (stderr)";
+
+/// Parsed command line. Parsing is strict: unknown flags, missing values,
+/// and `--jobs 0` are errors (exit 2), so a typo cannot silently run a
+/// multi-minute campaign with default settings.
+struct Args {
+    quick: bool,
+    par: Parallelism,
+    export_dir: Option<String>,
+    metrics_path: Option<String>,
+    progress: bool,
+    profile: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        par: Parallelism::Auto,
+        export_dir: None,
+        metrics_path: None,
+        progress: false,
+        profile: false,
+    };
+    let mut i = 1;
+    // A flag's value may not itself look like a flag: `--metrics --profile`
+    // is a missing value, not a file named "--profile".
+    let value_of = |i: usize, flag: &str| -> Result<String, String> {
+        match argv.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("{flag} needs a value")),
         }
     };
-    if let Some(dir) = &export_dir {
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "quick" => args.quick = true,
+            "--jobs" => {
+                let v = value_of(i, "--jobs")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a positive integer, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                args.par = if n == 1 {
+                    Parallelism::Sequential
+                } else {
+                    Parallelism::Fixed(n)
+                };
+                i += 1;
+            }
+            "--export" => {
+                args.export_dir = Some(value_of(i, "--export")?);
+                i += 1;
+            }
+            "--metrics" => {
+                args.metrics_path = Some(value_of(i, "--metrics")?);
+                i += 1;
+            }
+            "--progress" => args.progress = true,
+            "--profile" => args.profile = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// JSON-lines telemetry stream (`--metrics FILE`, append mode). With no
+/// path this is a no-op sink.
+struct Telemetry {
+    out: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl Telemetry {
+    fn open(path: Option<&str>) -> Self {
+        let out = path.map(|p| {
+            let f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open metrics file {p:?}: {e}");
+                    std::process::exit(2);
+                });
+            std::io::BufWriter::new(f)
+        });
+        Self { out }
+    }
+
+    fn line(&mut self, record: &str) {
+        if let Some(w) = &mut self.out {
+            writeln!(w, "{record}").expect("write metrics record");
+        }
+    }
+
+    /// One `"app"` record per result plus the `"campaign"` rollup.
+    fn campaign(&mut self, label: &str, c: &Campaign) {
+        if self.out.is_none() {
+            return;
+        }
+        for r in &c.results {
+            let rec = metrics::app_record(label, r);
+            self.line(&rec);
+        }
+        let rec = metrics::campaign_record(label, c);
+        self.line(&rec);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let args = parse_args(&argv).unwrap_or_else(|e| {
+        eprintln!("error: {e}\n{USAGE}");
+        std::process::exit(2);
+    });
+    let opts = CampaignOptions {
+        par: args.par,
+        progress: args.progress,
+        sink: if args.profile {
+            bvf_obs::MetricsSink::enabled()
+        } else {
+            bvf_obs::MetricsSink::disabled()
+        },
+        ..CampaignOptions::default()
+    };
+    let mut telemetry = Telemetry::open(args.metrics_path.as_deref());
+    if let Some(dir) = &args.export_dir {
         std::fs::create_dir_all(dir).expect("create export directory");
     }
-    let emit = |t: &bvf_sim::Table| {
+    let emit = |t: &bvf_sim::Table, telemetry: &mut Telemetry| {
         println!("{t}");
-        if let Some(dir) = &export_dir {
+        if let Some(dir) = &args.export_dir {
             let base = std::path::Path::new(dir).join(&t.id);
             std::fs::write(base.with_extension("csv"), t.to_csv()).expect("write csv");
             std::fs::write(base.with_extension("json"), t.to_json()).expect("write json");
         }
+        telemetry.line(&metrics::exhibit_record(t));
+    };
+    // Run one campaign: print its run report (and, under --profile, its
+    // phase breakdown) to stderr, append its telemetry records.
+    let finish_campaign = |label: &str, c: &Campaign, telemetry: &mut Telemetry| {
+        eprintln!("{}", c.run_report());
+        if let Some(t) = c.phase_table() {
+            eprintln!("[{label}] {t}");
+        }
+        telemetry.campaign(label, c);
     };
 
     // ---- Circuit-level exhibits (no simulation needed) --------------------
-    emit(&circuit::fig05_06(ProcessNode::N28));
-    emit(&circuit::fig05_06(ProcessNode::N40));
-    emit(&circuit::table_6t_stability());
+    emit(&circuit::fig05_06(ProcessNode::N28), &mut telemetry);
+    emit(&circuit::fig05_06(ProcessNode::N40), &mut telemetry);
+    emit(&circuit::table_6t_stability(), &mut telemetry);
 
     let apps = Application::all();
-    emit(&profile::fig14(&apps, bvf_isa::Architecture::Pascal));
-    emit(&profile::table2(&apps));
-    emit(&overhead::overhead_table(&GpuConfig::baseline()));
-    emit(&overhead::overhead_inventory(&GpuConfig::baseline()));
+    emit(
+        &profile::fig14(&apps, bvf_isa::Architecture::Pascal),
+        &mut telemetry,
+    );
+    emit(&profile::table2(&apps), &mut telemetry);
+    emit(
+        &overhead::overhead_table(&GpuConfig::baseline()),
+        &mut telemetry,
+    );
+    emit(
+        &overhead::overhead_inventory(&GpuConfig::baseline()),
+        &mut telemetry,
+    );
 
     // ---- Main campaign -----------------------------------------------------
     eprintln!(
         "running {} campaign...",
-        if quick { "smoke" } else { "full" }
+        if args.quick { "smoke" } else { "full" }
     );
     let t0 = std::time::Instant::now();
-    let main_campaign = if quick {
-        Campaign::smoke_with(par)
+    let main_campaign = if args.quick {
+        Campaign::smoke_with_options(&opts)
     } else {
-        Campaign::full_baseline(par)
+        Campaign::full_baseline_with_options(&opts)
     };
-    eprintln!("{}", main_campaign.run_report());
+    finish_campaign("main", &main_campaign, &mut telemetry);
 
-    emit(&profile::fig08(&main_campaign));
-    emit(&profile::fig09(&main_campaign));
-    emit(&profile::fig11(&main_campaign));
-    emit(&profile::fig12(&main_campaign));
-    emit(&energy::fig16_17(&main_campaign, ProcessNode::N28));
-    emit(&energy::fig16_17(&main_campaign, ProcessNode::N40));
-    emit(&energy::fig18_19(&main_campaign, ProcessNode::N28));
-    emit(&energy::fig18_19(&main_campaign, ProcessNode::N40));
-    emit(&sensitivity::fig20(&main_campaign));
-    emit(&sensitivity::fig23(&main_campaign));
+    emit(&profile::fig08(&main_campaign), &mut telemetry);
+    emit(&profile::fig09(&main_campaign), &mut telemetry);
+    emit(&profile::fig11(&main_campaign), &mut telemetry);
+    emit(&profile::fig12(&main_campaign), &mut telemetry);
+    emit(
+        &energy::fig16_17(&main_campaign, ProcessNode::N28),
+        &mut telemetry,
+    );
+    emit(
+        &energy::fig16_17(&main_campaign, ProcessNode::N40),
+        &mut telemetry,
+    );
+    emit(
+        &energy::fig18_19(&main_campaign, ProcessNode::N28),
+        &mut telemetry,
+    );
+    emit(
+        &energy::fig18_19(&main_campaign, ProcessNode::N40),
+        &mut telemetry,
+    );
+    emit(&sensitivity::fig20(&main_campaign), &mut telemetry);
+    emit(&sensitivity::fig23(&main_campaign), &mut telemetry);
 
     // ---- Scheduler sensitivity (Fig. 21) -----------------------------------
     let apps_for = |_: &str| -> Vec<Application> {
-        if quick {
+        if args.quick {
             ["VAD", "BFS", "BLA"]
                 .iter()
                 .map(|c| Application::by_code(c).expect("app"))
@@ -105,8 +263,8 @@ fn main() {
             Application::all()
         }
     };
-    let sched_campaign = |kind: SchedulerKind| -> Campaign {
-        let mut cfg = if quick {
+    let mut sched_campaign = |kind: SchedulerKind, label: &str| -> Campaign {
+        let mut cfg = if args.quick {
             let mut c = GpuConfig::baseline();
             c.sms = 2;
             c
@@ -114,56 +272,64 @@ fn main() {
             GpuConfig::baseline()
         };
         cfg.scheduler = kind;
-        let c = Campaign::run(cfg, &apps_for("sched"), par);
-        eprintln!("{}", c.run_report());
+        let c = Campaign::run_with_options(cfg, &apps_for("sched"), &opts);
+        finish_campaign(label, &c, &mut telemetry);
         c
     };
     eprintln!("running scheduler campaigns...");
-    let gto = sched_campaign(SchedulerKind::Gto);
-    let lrr = sched_campaign(SchedulerKind::Lrr);
-    let two = sched_campaign(SchedulerKind::TwoLevel);
-    emit(&sensitivity::fig21(&[
-        ("GTO", &gto),
-        ("LRR", &lrr),
-        ("Two-Level", &two),
-    ]));
+    let gto = sched_campaign(SchedulerKind::Gto, "sched-gto");
+    let lrr = sched_campaign(SchedulerKind::Lrr, "sched-lrr");
+    let two = sched_campaign(SchedulerKind::TwoLevel, "sched-two-level");
+    emit(
+        &sensitivity::fig21(&[("GTO", &gto), ("LRR", &lrr), ("Two-Level", &two)]),
+        &mut telemetry,
+    );
 
     // ---- Capacity sensitivity (Fig. 22) ------------------------------------
     eprintln!("running capacity campaigns...");
-    let capacity_campaign = |mut cfg: GpuConfig| -> Campaign {
-        if quick {
+    let mut capacity_campaign = |mut cfg: GpuConfig, label: &str| -> Campaign {
+        if args.quick {
             cfg.sms = cfg.sms.min(2);
         }
-        let c = Campaign::run(cfg, &apps_for("capacity"), par);
-        eprintln!("{}", c.run_report());
+        let c = Campaign::run_with_options(cfg, &apps_for("capacity"), &opts);
+        finish_campaign(label, &c, &mut telemetry);
         c
     };
-    let c480 = capacity_campaign(GpuConfig::gtx480());
-    let cp100 = capacity_campaign(GpuConfig::tesla_p100());
-    let ck80 = capacity_campaign(GpuConfig::tesla_k80());
-    emit(&sensitivity::fig22(&[
-        ("GTX-480", &c480),
-        ("Tesla-P100", &cp100),
-        ("Tesla-K80", &ck80),
-    ]));
+    let c480 = capacity_campaign(GpuConfig::gtx480(), "cap-gtx480");
+    let cp100 = capacity_campaign(GpuConfig::tesla_p100(), "cap-p100");
+    let ck80 = capacity_campaign(GpuConfig::tesla_k80(), "cap-k80");
+    emit(
+        &sensitivity::fig22(&[
+            ("GTX-480", &c480),
+            ("Tesla-P100", &cp100),
+            ("Tesla-K80", &ck80),
+        ]),
+        &mut telemetry,
+    );
 
     // ---- Ablations (DESIGN.md §5) -------------------------------------------
     eprintln!("running ablations...");
-    emit(&ablation::bus_invert_ablation());
-    emit(&ablation::isa_mask_ablation(
-        &apps,
-        bvf_isa::Architecture::Pascal,
-    ));
+    emit(&ablation::bus_invert_ablation(), &mut telemetry);
+    emit(
+        &ablation::isa_mask_ablation(&apps, bvf_isa::Architecture::Pascal),
+        &mut telemetry,
+    );
     let pivot_apps: Vec<Application> = ["OCE", "SCP", "HOT", "BFS"]
         .iter()
         .map(|c| Application::by_code(c).expect("pivot app"))
         .collect();
     let mut pivot_cfg = GpuConfig::baseline();
-    if quick {
+    if args.quick {
         pivot_cfg.sms = 2;
     }
-    emit(&ablation::pivot_ablation(&pivot_cfg, &pivot_apps, par));
-    emit(&ablation::edram_substrate(&main_campaign, ProcessNode::N40));
+    emit(
+        &ablation::pivot_ablation(&pivot_cfg, &pivot_apps, args.par),
+        &mut telemetry,
+    );
+    emit(
+        &ablation::edram_substrate(&main_campaign, ProcessNode::N40),
+        &mut telemetry,
+    );
 
     eprintln!("all exhibits regenerated in {:?}", t0.elapsed());
 }

@@ -8,18 +8,22 @@
 //! slots, never the simulators.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use bvf_gpu::{CodingView, Gpu, GpuConfig, TraceSummary};
+use bvf_gpu::{CodingView, Gpu, GpuConfig, PhaseProfile, TraceSummary};
 use bvf_isa::{derive_mask_for, Architecture};
+use bvf_obs::MetricsSink;
 use bvf_workloads::Application;
 
+use crate::table::Table;
+
 /// How many workers a campaign (or any [`parallel_map`]) may use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// One worker per available hardware thread (capped at the item count).
+    #[default]
     Auto,
     /// Exactly `n` workers (clamped to `1..=items`).
     Fixed(usize),
@@ -80,6 +84,110 @@ where
                 .expect("every slot is filled once the scope joins")
         })
         .collect()
+}
+
+/// Knobs for [`Campaign::run_with_options`] beyond the application set.
+///
+/// The default is exactly what [`Campaign::run`] does: auto parallelism,
+/// Pascal ISA, no progress output, metrics disabled.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker-pool sizing.
+    pub par: Parallelism,
+    /// Instruction-set generation for assembly and mask derivation.
+    pub arch: Architecture,
+    /// Print a live heartbeat line to stderr (~4 Hz) while the fan-out
+    /// runs: apps finished, instructions retired, throughput, busy
+    /// workers, and queue depth.
+    pub progress: bool,
+    /// Metrics sink shared by every worker's simulator. When enabled, each
+    /// [`AppResult`]'s summary carries a [`PhaseProfile`] and the sink
+    /// aggregates counters across the whole campaign; the default disabled
+    /// sink makes every probe a no-op.
+    pub sink: MetricsSink,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            par: Parallelism::Auto,
+            arch: Architecture::Pascal,
+            progress: false,
+            sink: MetricsSink::disabled(),
+        }
+    }
+}
+
+/// Shared progress counters for one campaign fan-out. All atomics: workers
+/// bump them on the hot path's edges (one app ≫ one update), the heartbeat
+/// thread reads them at ~4 Hz.
+struct Progress {
+    total: usize,
+    started: AtomicUsize,
+    done: AtomicUsize,
+    instructions: AtomicU64,
+    busy: AtomicUsize,
+}
+
+impl Progress {
+    fn new(total: usize) -> Self {
+        Self {
+            total,
+            started: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            instructions: AtomicU64::new(0),
+            busy: AtomicUsize::new(0),
+        }
+    }
+
+    /// One heartbeat line (no newline — the caller overwrites in place).
+    fn line(&self, elapsed: Duration) -> String {
+        let done = self.done.load(Ordering::Relaxed);
+        let started = self.started.load(Ordering::Relaxed);
+        let busy = self.busy.load(Ordering::Relaxed);
+        let instr = self.instructions.load(Ordering::Relaxed);
+        let queued = self.total.saturating_sub(started);
+        let rate = instr as f64 / elapsed.as_secs_f64().max(1e-9);
+        format!(
+            "[campaign] {done}/{} apps done, {busy} busy, {queued} queued, {:.1} M instr at {:.1} M/s",
+            self.total,
+            instr as f64 / 1e6,
+            rate / 1e6,
+        )
+    }
+}
+
+/// Run `body` while a heartbeat thread repaints `progress` on stderr every
+/// 250 ms. The final state is printed on its own line once `body` returns.
+fn with_heartbeat<R: Send>(progress: &Progress, body: impl FnOnce() -> R + Send) -> R {
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let beat = scope.spawn(|| {
+            let mut widest = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let line = progress.line(t0.elapsed());
+                widest = widest.max(line.len());
+                // Pad to the widest line so a shrinking line leaves no tail.
+                eprint!("\r{line:<widest$}");
+                // Repaint at ~4 Hz but notice `stop` within 10 ms, so the
+                // heartbeat never pads the campaign's measured wall time.
+                for _ in 0..25 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+            let line = progress.line(t0.elapsed());
+            widest = widest.max(line.len());
+            eprintln!("\r{line:<widest$}");
+        });
+        let out = body();
+        stop.store(true, Ordering::Relaxed);
+        beat.join().expect("heartbeat thread never panics");
+        out
+    })
 }
 
 /// One application's simulation result.
@@ -166,19 +274,56 @@ impl Campaign {
         arch: Architecture,
         par: Parallelism,
     ) -> Self {
+        Self::run_with_options(
+            config,
+            apps,
+            &CampaignOptions {
+                par,
+                arch,
+                ..CampaignOptions::default()
+            },
+        )
+    }
+
+    /// [`Campaign::run`] with the full option set: parallelism, ISA
+    /// generation, live progress on stderr, and a metrics sink (see
+    /// [`CampaignOptions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn run_with_options(
+        config: GpuConfig,
+        apps: &[Application],
+        opts: &CampaignOptions,
+    ) -> Self {
         assert!(!apps.is_empty(), "campaign needs at least one application");
-        let isa_mask = Self::derive_isa_mask(arch, apps);
+        let isa_mask = Self::derive_isa_mask(opts.arch, apps);
         let views = CodingView::standard_set(isa_mask);
-        let workers = par.workers(apps.len());
+        let workers = opts.par.workers(apps.len());
+        let progress = Progress::new(apps.len());
         let t0 = Instant::now();
-        let results = parallel_map(apps, par, |app| {
-            Self::simulate_one(&config, &views, arch, app)
-        });
+        let simulate = |app: &Application| {
+            progress.started.fetch_add(1, Ordering::Relaxed);
+            progress.busy.fetch_add(1, Ordering::Relaxed);
+            let result = Self::simulate_one(&config, &views, opts.arch, &opts.sink, app);
+            progress
+                .instructions
+                .fetch_add(result.summary.dynamic_instructions, Ordering::Relaxed);
+            progress.busy.fetch_sub(1, Ordering::Relaxed);
+            progress.done.fetch_add(1, Ordering::Relaxed);
+            result
+        };
+        let results = if opts.progress {
+            with_heartbeat(&progress, || parallel_map(apps, opts.par, simulate))
+        } else {
+            parallel_map(apps, opts.par, simulate)
+        };
         let wall = t0.elapsed();
         let index = Self::build_index(&results);
         Self {
             config,
-            arch,
+            arch: opts.arch,
             isa_mask,
             results,
             wall,
@@ -192,11 +337,13 @@ impl Campaign {
         config: &GpuConfig,
         views: &[CodingView],
         arch: Architecture,
+        sink: &MetricsSink,
         app: &Application,
     ) -> AppResult {
         let t0 = Instant::now();
         let mut gpu = Gpu::new(config.clone(), views.to_vec());
         gpu.set_architecture(arch);
+        gpu.set_metrics(sink.clone());
         let summary = app.run(&mut gpu);
         let wall = t0.elapsed();
         let instructions_per_second =
@@ -219,7 +366,15 @@ impl Campaign {
 
     /// The full 58-application campaign on the Table 3 baseline.
     pub fn full_baseline(par: Parallelism) -> Self {
-        Self::run(GpuConfig::baseline(), &Application::all(), par)
+        Self::full_baseline_with_options(&CampaignOptions {
+            par,
+            ..CampaignOptions::default()
+        })
+    }
+
+    /// [`Campaign::full_baseline`] with the full option set.
+    pub fn full_baseline_with_options(opts: &CampaignOptions) -> Self {
+        Self::run_with_options(GpuConfig::baseline(), &Application::all(), opts)
     }
 
     /// A reduced campaign for fast tests: a representative subset on a
@@ -231,13 +386,21 @@ impl Campaign {
     /// [`Campaign::smoke`] with an explicit parallelism knob (the
     /// determinism tests compare worker counts on this workload).
     pub fn smoke_with(par: Parallelism) -> Self {
+        Self::smoke_with_options(&CampaignOptions {
+            par,
+            ..CampaignOptions::default()
+        })
+    }
+
+    /// [`Campaign::smoke`] with the full option set.
+    pub fn smoke_with_options(opts: &CampaignOptions) -> Self {
         let mut config = GpuConfig::baseline();
         config.sms = 2;
         let apps: Vec<Application> = ["VAD", "BFS", "BLA", "IMD", "RED", "SGE"]
             .iter()
             .map(|c| Application::by_code(c).expect("smoke app"))
             .collect();
-        Self::run(config, &apps, par)
+        Self::run_with_options(config, &apps, opts)
     }
 
     /// Result for an application code, if the campaign ran it.
@@ -269,6 +432,21 @@ impl Campaign {
             .iter()
             .max_by_key(|r| r.wall)
             .map(|r| (r.app.code, r.wall));
+        let min_app_wall = self
+            .results
+            .iter()
+            .map(|r| r.wall)
+            .min()
+            .unwrap_or_default();
+        let max_app_wall = self
+            .results
+            .iter()
+            .map(|r| r.wall)
+            .max()
+            .unwrap_or_default();
+        let mean_app_wall = serial
+            .checked_div(self.results.len().max(1) as u32)
+            .unwrap_or_default();
         RunReport {
             apps: self.results.len(),
             workers: self.workers,
@@ -276,11 +454,57 @@ impl Campaign {
             serial_wall: serial,
             speedup: serial.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
             slowest,
+            min_app_wall,
+            max_app_wall,
+            mean_app_wall,
             total_instructions,
             instructions_per_second: total_instructions as f64 / self.wall.as_secs_f64().max(1e-9),
             serial_instructions_per_second: total_instructions as f64
                 / serial.as_secs_f64().max(1e-9),
         }
+    }
+
+    /// Every application's [`PhaseProfile`] folded into one (self-time
+    /// nanos and events summed phase-wise). Empty unless the campaign ran
+    /// with an enabled [`CampaignOptions::sink`].
+    pub fn merged_profile(&self) -> PhaseProfile {
+        let mut merged = PhaseProfile::empty();
+        for r in &self.results {
+            merged.merge(&r.summary.profile);
+        }
+        merged
+    }
+
+    /// The merged phase breakdown as a render-ready [`Table`] ("where the
+    /// simulator's time goes"): self time in milliseconds, share of the
+    /// summed launch time, and event count per phase. `None` unless the
+    /// campaign was profiled.
+    pub fn phase_table(&self) -> Option<Table> {
+        let profile = self.merged_profile();
+        if !profile.is_enabled() {
+            return None;
+        }
+        let mut t = Table::new(
+            "phase_breakdown",
+            "Simulator phase breakdown (self time)",
+            vec![
+                "self_ms".to_string(),
+                "share_pct".to_string(),
+                "events".to_string(),
+            ],
+        );
+        let total = profile.launch_nanos.max(1) as f64;
+        for s in &profile.slices {
+            t.push(
+                s.phase.name(),
+                vec![
+                    s.nanos as f64 / 1e6,
+                    100.0 * s.nanos as f64 / total,
+                    s.events as f64,
+                ],
+            );
+        }
+        Some(t)
     }
 }
 
@@ -299,6 +523,12 @@ pub struct RunReport {
     pub speedup: f64,
     /// Slowest application and its wall time (the fan-out's critical path).
     pub slowest: Option<(&'static str, Duration)>,
+    /// Fastest single application's wall time.
+    pub min_app_wall: Duration,
+    /// Slowest single application's wall time (`slowest`'s duration).
+    pub max_app_wall: Duration,
+    /// Mean per-application wall time (`serial_wall / apps`).
+    pub mean_app_wall: Duration,
     /// Dynamic instructions summed over all applications.
     pub total_instructions: u64,
     /// Aggregate simulator throughput over the campaign wall time.
@@ -321,12 +551,17 @@ impl core::fmt::Display for RunReport {
             self.wall,
             self.instructions_per_second / 1e6,
         )?;
-        write!(
+        writeln!(
             f,
             "  serial estimate {:.3?}, speedup {:.2}x, {:.1} M instr/s per worker",
             self.serial_wall,
             self.speedup,
             self.serial_instructions_per_second / 1e6,
+        )?;
+        write!(
+            f,
+            "  per-app wall min {:.3?} / mean {:.3?} / max {:.3?}",
+            self.min_app_wall, self.mean_app_wall, self.max_app_wall,
         )?;
         if let Some((code, wall)) = self.slowest {
             write!(f, ", slowest app {code} at {wall:.3?}")?;
@@ -472,6 +707,72 @@ mod tests {
         );
         // The report renders without panicking and mentions the app count.
         assert!(format!("{r}").contains("6 apps"));
+    }
+
+    #[test]
+    fn run_report_exposes_per_app_wall_stats() {
+        let c = Campaign::smoke_with(Parallelism::Fixed(2));
+        let r = c.run_report();
+        assert!(r.min_app_wall <= r.mean_app_wall);
+        assert!(r.mean_app_wall <= r.max_app_wall);
+        assert_eq!(r.max_app_wall, r.slowest.expect("apps ran").1);
+        assert_eq!(r.mean_app_wall, r.serial_wall / r.apps as u32);
+        let shown = format!("{r}");
+        assert!(shown.contains("per-app wall min"));
+        assert!(shown.contains("slowest app"));
+    }
+
+    #[test]
+    fn profiled_campaign_matches_unprofiled_and_merges_phases() {
+        let mut config = GpuConfig::baseline();
+        config.sms = 1;
+        let apps: Vec<Application> = ["VAD", "SGE"]
+            .iter()
+            .map(|c| Application::by_code(c).expect("app"))
+            .collect();
+        let plain = Campaign::run(config.clone(), &apps, Parallelism::Sequential);
+        let sink = MetricsSink::enabled();
+        let profiled = Campaign::run_with_options(
+            config,
+            &apps,
+            &CampaignOptions {
+                par: Parallelism::Fixed(2),
+                sink: sink.clone(),
+                ..CampaignOptions::default()
+            },
+        );
+        // Profiling and worker count change nothing the equality sees.
+        assert_eq!(plain, profiled);
+        assert!(plain.merged_profile().slices.is_empty());
+        assert!(plain.phase_table().is_none());
+        let merged = profiled.merged_profile();
+        assert!(merged.is_enabled());
+        assert_eq!(merged.slices.len(), 7);
+        let table = profiled.phase_table().expect("profiled");
+        assert_eq!(table.rows.len(), 7);
+        assert!(table.get("exec", "events").expect("exec row") > 0.0);
+        // Worker recorders flushed into the shared sink across threads.
+        let step = sink.timer("sim.step");
+        let total: u64 = profiled
+            .results
+            .iter()
+            .map(|r| r.summary.dynamic_instructions)
+            .sum();
+        assert_eq!(sink.timer_value(step).1, total);
+    }
+
+    #[test]
+    fn heartbeat_line_reports_counts() {
+        let p = Progress::new(6);
+        p.started.store(5, Ordering::Relaxed);
+        p.done.store(3, Ordering::Relaxed);
+        p.busy.store(2, Ordering::Relaxed);
+        p.instructions.store(4_000_000, Ordering::Relaxed);
+        let line = p.line(Duration::from_secs(2));
+        assert!(line.contains("3/6 apps done"));
+        assert!(line.contains("2 busy"));
+        assert!(line.contains("1 queued"));
+        assert!(line.contains("4.0 M instr at 2.0 M/s"));
     }
 
     #[test]

@@ -30,7 +30,8 @@
 
 pub mod campaign;
 pub mod figures;
+pub mod metrics;
 pub mod table;
 
-pub use campaign::{parallel_map, AppResult, Campaign, Parallelism, RunReport};
+pub use campaign::{parallel_map, AppResult, Campaign, CampaignOptions, Parallelism, RunReport};
 pub use table::Table;

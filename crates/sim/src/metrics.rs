@@ -1,0 +1,184 @@
+//! Campaign telemetry: JSON-lines records for `reproduce --metrics`.
+//!
+//! Each record is one JSON object per line, built with
+//! [`bvf_obs::jsonl::Record`] so the byte layout is a deterministic
+//! function of the values. Three kinds are emitted:
+//!
+//! - `"app"` — one per application result,
+//! - `"campaign"` — one per campaign (fan-out totals, merged phase profile),
+//! - `"exhibit"` — one per rendered paper table.
+//!
+//! **Every run-dependent field lives under the `"timing"` key.** Wall
+//! times, throughputs, worker counts, and phase profiles vary run to run;
+//! everything else (counters, rates, exhibit tables) is a pure function of
+//! the simulated workload. Scrubbing `"timing"` from two telemetry streams
+//! must therefore leave byte-identical lines whatever `--jobs` was — the
+//! determinism test in `reproduce.rs` holds the simulator to exactly that.
+
+use bvf_obs::jsonl::Record;
+
+use crate::campaign::{AppResult, Campaign};
+use crate::table::Table;
+
+/// Telemetry for one application result within a labelled campaign.
+pub fn app_record(campaign: &str, r: &AppResult) -> String {
+    let timing = Record::object()
+        .u64("wall_ns", r.wall.as_nanos() as u64)
+        .f64("instructions_per_second", r.instructions_per_second)
+        .finish();
+    Record::new("app")
+        .str("campaign", campaign)
+        .str("app", r.app.code)
+        .str("name", r.app.name)
+        .u64("cycles", r.summary.cycles)
+        .u64("instructions", r.summary.dynamic_instructions)
+        .f64("l1d_hit_rate", r.summary.l1d_hit_rate)
+        .f64("l2_hit_rate", r.summary.l2_hit_rate)
+        .u64("dram_requests", r.summary.dram.requests)
+        .raw("timing", &timing)
+        .finish()
+}
+
+/// Telemetry for one campaign: workload identity and totals, with the
+/// fan-out's wall-clock story (and the merged phase profile, when the run
+/// was profiled) nested under `"timing"`.
+pub fn campaign_record(label: &str, c: &Campaign) -> String {
+    let report = c.run_report();
+    let mut timing = Record::object()
+        .u64("wall_ns", report.wall.as_nanos() as u64)
+        .u64("serial_wall_ns", report.serial_wall.as_nanos() as u64)
+        .u64("workers", report.workers as u64)
+        .f64("speedup", report.speedup)
+        .u64("min_app_wall_ns", report.min_app_wall.as_nanos() as u64)
+        .u64("mean_app_wall_ns", report.mean_app_wall.as_nanos() as u64)
+        .u64("max_app_wall_ns", report.max_app_wall.as_nanos() as u64)
+        .f64("instructions_per_second", report.instructions_per_second);
+    if let Some((code, wall)) = report.slowest {
+        timing = timing
+            .str("slowest_app", code)
+            .u64("slowest_app_wall_ns", wall.as_nanos() as u64);
+    }
+    let profile = c.merged_profile();
+    if profile.is_enabled() {
+        let slices: Vec<String> = profile
+            .slices
+            .iter()
+            .map(|s| {
+                Record::object()
+                    .str("phase", s.phase.name())
+                    .u64("nanos", s.nanos)
+                    .u64("events", s.events)
+                    .finish()
+            })
+            .collect();
+        timing = timing
+            .u64("launch_nanos", profile.launch_nanos)
+            .raw("phases", &format!("[{}]", slices.join(",")));
+    }
+    Record::new("campaign")
+        .str("campaign", label)
+        .u64("apps", c.results.len() as u64)
+        .str("isa_mask", &format!("{:#018x}", c.isa_mask))
+        .u64("total_instructions", report.total_instructions)
+        .raw("timing", &timing.finish())
+        .finish()
+}
+
+/// Telemetry for one rendered exhibit (a paper table/figure).
+pub fn exhibit_record(t: &Table) -> String {
+    Record::new("exhibit")
+        .str("exhibit", &t.id)
+        .raw("table", &t.to_json())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignOptions, Parallelism};
+    use bvf_gpu::GpuConfig;
+    use bvf_obs::json;
+    use bvf_obs::MetricsSink;
+    use bvf_workloads::Application;
+
+    fn tiny_campaign(sink: MetricsSink) -> Campaign {
+        let mut config = GpuConfig::baseline();
+        config.sms = 1;
+        let apps: Vec<Application> = ["VAD", "SGE"]
+            .iter()
+            .map(|c| Application::by_code(c).expect("app"))
+            .collect();
+        Campaign::run_with_options(
+            config,
+            &apps,
+            &CampaignOptions {
+                par: Parallelism::Sequential,
+                sink,
+                ..CampaignOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn records_parse_and_isolate_timing() {
+        let c = tiny_campaign(MetricsSink::enabled());
+        for line in [
+            app_record("main", &c.results[0]),
+            campaign_record("main", &c),
+        ] {
+            let v = json::parse(&line).expect("valid JSON");
+            assert!(v.get("record").is_some(), "missing kind tag: {line}");
+            assert!(
+                matches!(v.get("timing"), Some(json::Value::Object(_))),
+                "timing must be a nested object: {line}"
+            );
+            // Scrubbing "timing" removes every run-dependent field; what
+            // remains must not mention nanoseconds or throughput.
+            let scrubbed = v.without("timing").to_json_string();
+            for needle in ["_ns\"", "per_second", "nanos"] {
+                assert!(
+                    !scrubbed.contains(needle),
+                    "run-dependent field {needle} escaped timing: {scrubbed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_campaign_record_carries_phases() {
+        let c = tiny_campaign(MetricsSink::enabled());
+        let v = json::parse(&campaign_record("main", &c)).expect("valid JSON");
+        let timing = v.get("timing").expect("timing object");
+        let json::Value::Array(phases) = timing.get("phases").expect("phases") else {
+            panic!("phases must be an array");
+        };
+        assert_eq!(phases.len(), 7);
+        assert_eq!(
+            phases[0].get("phase").and_then(json::Value::as_str),
+            Some("exec")
+        );
+    }
+
+    #[test]
+    fn unprofiled_campaign_record_omits_phases() {
+        let c = tiny_campaign(MetricsSink::disabled());
+        let v = json::parse(&campaign_record("main", &c)).expect("valid JSON");
+        assert!(v.get("timing").expect("timing").get("phases").is_none());
+    }
+
+    #[test]
+    fn exhibit_record_embeds_the_table() {
+        let mut t = Table::new("fig_test", "A test table", vec!["x".into()]);
+        t.push("row \"one\"", vec![1.5]);
+        let v = json::parse(&exhibit_record(&t)).expect("valid JSON");
+        assert_eq!(
+            v.get("exhibit").and_then(json::Value::as_str),
+            Some("fig_test")
+        );
+        let table = v.get("table").expect("table");
+        assert_eq!(
+            table.get("id").and_then(json::Value::as_str),
+            Some("fig_test")
+        );
+    }
+}

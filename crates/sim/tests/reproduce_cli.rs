@@ -1,0 +1,126 @@
+//! End-to-end tests of the `reproduce` binary: strict argument handling
+//! and the determinism contract of `--metrics` telemetry across worker
+//! counts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bvf_obs::json::{self, Value};
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+#[test]
+fn bad_arguments_exit_2_without_running() {
+    for argv in [
+        &["--jobs", "0"][..],
+        &["--jobs", "eight"],
+        &["--jobs"],
+        &["--export"],
+        &["--metrics"],
+        &["--metrics", "--profile"], // flag where a value belongs
+        &["--frobnicate"],
+        &["qwick"],
+    ] {
+        let out = reproduce().args(argv).output().expect("spawn reproduce");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "argv {argv:?} must exit 2, got {:?}",
+            out.status
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "argv {argv:?} printed no usage");
+        assert!(
+            out.stdout.is_empty(),
+            "argv {argv:?} produced exhibits despite the error"
+        );
+    }
+}
+
+#[test]
+fn help_exits_0() {
+    let out = reproduce().arg("--help").output().expect("spawn reproduce");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--metrics"));
+}
+
+/// A record with its `"timing"` subtree removed and re-serialized: the
+/// run-independent residue that must not vary with `--jobs`.
+fn scrub(line: &str) -> String {
+    json::parse(line)
+        .unwrap_or_else(|e| panic!("metrics line is not JSON ({e}): {line}"))
+        .without("timing")
+        .to_json_string()
+}
+
+#[test]
+fn metrics_are_deterministic_across_worker_counts_modulo_timing() {
+    let dir = std::env::temp_dir();
+    let mine = |name: &str| -> PathBuf {
+        dir.join(format!("bvf_reproduce_cli_{}_{name}", std::process::id()))
+    };
+    let m1 = mine("jobs1.jsonl");
+    let m3 = mine("jobs3.jsonl");
+    for p in [&m1, &m3] {
+        let _ = std::fs::remove_file(p); // --metrics appends
+    }
+
+    let run1 = reproduce()
+        .args(["quick", "--jobs", "1", "--metrics"])
+        .arg(&m1)
+        .output()
+        .expect("spawn reproduce");
+    assert!(run1.status.success(), "jobs 1 run failed: {run1:?}");
+    // The parallel run also turns on --profile and --progress: the
+    // observability flags must not leak into stdout or the scrubbed records.
+    let run3 = reproduce()
+        .args([
+            "quick",
+            "--jobs",
+            "3",
+            "--profile",
+            "--progress",
+            "--metrics",
+        ])
+        .arg(&m3)
+        .output()
+        .expect("spawn reproduce");
+    assert!(run3.status.success(), "jobs 3 run failed: {run3:?}");
+
+    assert_eq!(
+        String::from_utf8_lossy(&run1.stdout),
+        String::from_utf8_lossy(&run3.stdout),
+        "exhibit tables must be bit-identical whatever the flags"
+    );
+
+    let lines = |p: &PathBuf| -> Vec<String> {
+        std::fs::read_to_string(p)
+            .expect("metrics file")
+            .lines()
+            .map(scrub)
+            .collect()
+    };
+    let a = lines(&m1);
+    let b = lines(&m3);
+    assert!(!a.is_empty(), "no telemetry was written");
+    assert_eq!(a.len(), b.len(), "record counts differ");
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x, y, "record {i} differs after scrubbing timing");
+    }
+
+    // The profiled run's campaign records carry the phase breakdown —
+    // under "timing", where the scrub above just proved it stays.
+    let raw3 = std::fs::read_to_string(&m3).expect("metrics file");
+    let profiled = raw3.lines().any(|l| {
+        let v = json::parse(l).expect("valid JSON");
+        v.get("record").and_then(Value::as_str) == Some("campaign")
+            && v.get("timing").and_then(|t| t.get("phases")).is_some()
+    });
+    assert!(profiled, "--profile produced no phase telemetry");
+
+    for p in [&m1, &m3] {
+        let _ = std::fs::remove_file(p);
+    }
+}
