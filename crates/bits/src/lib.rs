@@ -35,6 +35,7 @@
 
 pub mod hamming;
 pub mod leakage;
+pub mod persist;
 pub mod position;
 pub mod profile;
 pub mod stats;

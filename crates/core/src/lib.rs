@@ -52,6 +52,7 @@ pub mod divergence;
 pub mod isa_coder;
 pub mod nv;
 pub mod overhead;
+pub mod persist;
 pub mod space;
 pub mod vs;
 

@@ -1,0 +1,48 @@
+//! [`Persist`] impl for [`Unit`], keying per-unit maps in the on-disk
+//! result store.
+
+use bvf_store::{CodecError, Persist, Reader, Writer};
+
+use crate::space::Unit;
+
+impl Persist for Unit {
+    /// A unit is stored as its index in [`Unit::ALL`] — a stable, compact
+    /// tag (the enum's declaration order is part of the store format).
+    fn persist(&self, w: &mut Writer) {
+        let idx = Unit::ALL
+            .iter()
+            .position(|u| u == self)
+            .expect("every unit is in Unit::ALL");
+        w.u8(idx as u8);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let idx = usize::from(r.u8()?);
+        Unit::ALL
+            .get(idx)
+            .copied()
+            .ok_or(CodecError::Invalid("unit tag out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_unit_round_trips() {
+        for unit in Unit::ALL {
+            let mut w = Writer::new();
+            unit.persist(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(Unit::restore(&mut r).expect("decode"), unit);
+            r.finish().expect("fully consumed");
+        }
+    }
+
+    #[test]
+    fn out_of_range_tag_is_invalid() {
+        assert!(Unit::restore(&mut Reader::new(&[200])).is_err());
+    }
+}

@@ -52,6 +52,7 @@ pub mod dram;
 pub mod exec;
 pub mod memory;
 pub mod noc;
+pub mod persist;
 pub mod phase;
 #[cfg(test)]
 mod proptests;

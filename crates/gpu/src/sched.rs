@@ -24,6 +24,11 @@ pub struct Scheduler {
     /// Two-level: the active set (warp indices), round-robin position.
     active_set: Vec<usize>,
     active_next: usize,
+    /// Two-level: where the last refill stopped scanning, so vacancies are
+    /// offered to warps in rotation order rather than re-biasing the lowest
+    /// warp indices (the pending set is serviced oldest-demotion-first in
+    /// [72]; a rotating scan is the stateless equivalent).
+    refill_next: usize,
 }
 
 impl Scheduler {
@@ -35,6 +40,7 @@ impl Scheduler {
             rr_next: 0,
             active_set: Vec::new(),
             active_next: 0,
+            refill_next: 0,
         }
     }
 
@@ -99,12 +105,7 @@ impl Scheduler {
                     self.greedy = None;
                 }
             }
-            SchedulerKind::TwoLevel => {
-                self.active_set.retain(|&x| x != w);
-                if self.active_next >= self.active_set.len() {
-                    self.active_next = 0;
-                }
-            }
+            SchedulerKind::TwoLevel => self.demote(w),
             SchedulerKind::Lrr => {}
         }
     }
@@ -114,16 +115,44 @@ impl Scheduler {
         self.on_stall(w);
     }
 
+    /// Remove warp `w` from the active set, keeping the round-robin cursor
+    /// on the warp it was about to consider. Removing an element below the
+    /// cursor shifts every later element down by one, so the cursor must
+    /// follow — otherwise the rotation silently skips the surviving warp
+    /// that slid into the vacated slot.
+    fn demote(&mut self, w: usize) {
+        let Some(pos) = self.active_set.iter().position(|&x| x == w) else {
+            return;
+        };
+        self.active_set.remove(pos);
+        if pos < self.active_next {
+            self.active_next -= 1;
+        }
+        if self.active_next >= self.active_set.len() {
+            self.active_next = 0;
+        }
+    }
+
+    /// Fill vacancies in the active set. The scan starts at `refill_next`
+    /// and wraps, so over time every resident warp gets an equal shot at a
+    /// vacancy — refilling from warp 0 every time would hand low-index
+    /// warps the slot whenever they are ready, starving the tail of the
+    /// warp list (the paper's [72] services the pending set oldest-first).
     fn refill_active_set(&mut self, ready: &[bool]) {
-        if self.active_set.len() >= TWO_LEVEL_ACTIVE_SET {
+        let n = ready.len();
+        if self.active_set.len() >= TWO_LEVEL_ACTIVE_SET || n == 0 {
             return;
         }
-        for (i, &r) in ready.iter().enumerate() {
+        let start = self.refill_next % n;
+        for off in 0..n {
             if self.active_set.len() >= TWO_LEVEL_ACTIVE_SET {
                 break;
             }
-            if r && !self.active_set.contains(&i) {
+            let i = (start + off) % n;
+            if ready[i] && !self.active_set.contains(&i) {
                 self.active_set.push(i);
+                // The next refill resumes just past the last admitted warp.
+                self.refill_next = (i + 1) % n;
             }
         }
     }
@@ -131,7 +160,10 @@ impl Scheduler {
     fn promote(&mut self, w: usize) {
         if !self.active_set.contains(&w) {
             if self.active_set.len() >= TWO_LEVEL_ACTIVE_SET {
-                self.active_set.remove(0);
+                // Evict the oldest active warp, cursor-adjusted like any
+                // other removal.
+                let victim = self.active_set[0];
+                self.demote(victim);
             }
             self.active_set.push(w);
         }
@@ -217,6 +249,88 @@ mod tests {
         for _ in 0..32 {
             assert_ne!(s.pick(&r), Some(first));
         }
+    }
+
+    /// Regression: demoting a warp that sits *below* the round-robin
+    /// cursor used to leave the cursor pointing one slot too far, so the
+    /// warp that slid into the vacated slot was silently skipped for a
+    /// whole rotation. With the cursor adjustment, one full rotation after
+    /// a mid-rotation demotion must issue every surviving active warp
+    /// exactly once.
+    #[test]
+    fn two_level_demotion_mid_rotation_keeps_the_rotation_fair() {
+        let mut s = Scheduler::new(SchedulerKind::TwoLevel);
+        let mut r = ready(8); // exactly one active set's worth
+                              // Establish the active set [0..8] and advance the cursor past
+                              // warps 0..4, so the next pick would be warp 4.
+        for expect in 0..4 {
+            assert_eq!(s.pick(&r), Some(expect));
+        }
+        // Warp 1 (below the cursor) stalls and is demoted mid-rotation.
+        s.on_stall(1);
+        r[1] = false;
+        // The rest of the rotation must be 4, 5, 6, 7 — not skip 4 (the
+        // pre-fix symptom: the cursor pointed at 5's slot after the shift)
+        // and not re-issue an already-serviced warp.
+        let mut issued = Vec::new();
+        for _ in 0..4 {
+            issued.push(s.pick(&r).unwrap());
+        }
+        assert_eq!(
+            issued,
+            vec![4, 5, 6, 7],
+            "rotation skipped or repeated a warp"
+        );
+    }
+
+    /// Regression: promotion into a full set evicts the oldest active warp
+    /// (`remove(0)`), which shifts every slot below the cursor — without
+    /// the cursor adjustment the rotation resumed one warp too far.
+    #[test]
+    fn two_level_promotion_mid_rotation_keeps_the_rotation_fair() {
+        let mut s = Scheduler::new(SchedulerKind::TwoLevel);
+        let mut r = ready(16);
+        // Active set [0..8]; advance the cursor past warps 0..4.
+        for expect in 0..4 {
+            assert_eq!(s.pick(&r), Some(expect));
+        }
+        // The whole active set stalls momentarily (no demotion
+        // notifications — think scoreboard stalls), so pick() promotes the
+        // oldest pending ready warp, evicting active warp 0 from a full set.
+        r[0..8].fill(false);
+        assert_eq!(s.pick(&r), Some(8));
+        // Actives 4..8 wake up. The rotation left off at warp 4 and the
+        // eviction happened below the cursor: the next lap must start at 4
+        // (pre-fix it resumed at 5) and then visit 5, 6, 7, then the
+        // newly promoted 8.
+        r[4..8].fill(true);
+        let picks: Vec<usize> = (0..5).map(|_| s.pick(&r).unwrap()).collect();
+        assert_eq!(picks, vec![4, 5, 6, 7, 8], "rotation lost its place");
+    }
+
+    /// Regression: vacancies used to be refilled in ascending warp-index
+    /// order, so a just-demoted low-index warp that was still ready
+    /// re-entered the set immediately while high-index warps never got a
+    /// slot. The refill must scan from the rotation point instead.
+    #[test]
+    fn two_level_refill_starts_at_the_rotation_point_not_warp_zero() {
+        let mut s = Scheduler::new(SchedulerKind::TwoLevel);
+        let r = ready(16);
+        s.pick(&r).unwrap(); // fill the active set with [0..8]
+                             // Warp 3 stalls on memory but its data returns immediately: it is
+                             // demoted yet stays ready.
+        s.on_stall(3);
+        s.pick(&r).unwrap(); // triggers a refill of the vacancy
+        assert!(
+            s.active_set.contains(&8),
+            "vacancy must go to the next pending warp in rotation (8), set: {:?}",
+            s.active_set
+        );
+        assert!(
+            !s.active_set.contains(&3),
+            "a just-demoted warp must go to the back of the queue, set: {:?}",
+            s.active_set
+        );
     }
 
     #[test]

@@ -205,7 +205,7 @@ impl UnitStats {
 }
 
 /// Statistics for one coding view across every unit plus the NoC.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ViewStats {
     /// The view these statistics belong to.
     pub view: CodingView,
@@ -221,6 +221,20 @@ pub struct ViewStats {
     flit_bytes: usize,
 }
 
+/// Equality covers the finished statistics only — the per-channel toggle
+/// scratch and the flit size are collection state, already folded into
+/// `noc` by the time a summary is produced. This is what lets a summary
+/// restored from the result store (whose scratch is empty) compare
+/// bit-identical to a freshly simulated one.
+impl PartialEq for ViewStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.view == other.view
+            && self.units == other.units
+            && self.noc == other.noc
+            && self.dummy_movs == other.dummy_movs
+    }
+}
+
 impl ViewStats {
     fn new(view: CodingView, flit_bytes: usize) -> Self {
         Self {
@@ -230,6 +244,25 @@ impl ViewStats {
             dummy_movs: 0,
             channels: BTreeMap::new(),
             flit_bytes,
+        }
+    }
+
+    /// Rebuild a view's statistics from stored counters (the result-store
+    /// decode path). The collection-only fields — per-channel toggle state
+    /// and the flit size — are left empty: a restored view is read-only.
+    pub(crate) fn from_stored(
+        view: CodingView,
+        units: BTreeMap<Unit, UnitStats>,
+        noc: ToggleStats,
+        dummy_movs: u64,
+    ) -> Self {
+        Self {
+            view,
+            units,
+            noc,
+            dummy_movs,
+            channels: BTreeMap::new(),
+            flit_bytes: 0,
         }
     }
 

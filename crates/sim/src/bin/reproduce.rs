@@ -11,6 +11,8 @@
 //! cargo run --release -p bvf-sim --bin reproduce -- --profile       # phase breakdown
 //! cargo run --release -p bvf-sim --bin reproduce -- --metrics F     # append JSONL
 //!                                                   # telemetry records to F
+//! cargo run --release -p bvf-sim --bin reproduce -- --cache DIR     # reuse results
+//!                                                   # from a persistent store
 //! ```
 //!
 //! The full run executes five campaigns over the 58 applications (baseline,
@@ -26,25 +28,37 @@
 //! per line (`"app"`, `"campaign"`, and `"exhibit"` records — see
 //! `bvf_sim::metrics`), with every run-dependent field nested under the
 //! record's `"timing"` key so telemetry from different worker counts can be
-//! diffed after scrubbing it.
+//! diffed after scrubbing it. `--cache DIR` keeps that guarantee across
+//! cold and warm runs: cached results are bit-identical to simulated ones,
+//! so only the `"timing"` story changes.
 
+use std::cell::RefCell;
 use std::io::Write;
+use std::sync::Arc;
 
 use bvf_circuit::ProcessNode;
 use bvf_gpu::{GpuConfig, SchedulerKind};
 use bvf_sim::figures::{ablation, circuit, energy, overhead, profile, sensitivity};
-use bvf_sim::{metrics, Campaign, CampaignOptions, Parallelism};
+use bvf_sim::{metrics, Campaign, CampaignOptions, Parallelism, ResultStore};
 use bvf_workloads::Application;
 
 const USAGE: &str =
     "usage: reproduce [quick] [--jobs N] [--export DIR] [--metrics FILE] [--progress] [--profile]
+                 [--cache DIR] [--no-cache] [--cache-verify N] [--inject-panic APP]
 
   quick           smoke subset (6 apps, 2 SMs) instead of the full 58-app run
   --jobs N        worker count (N >= 1; 1 = sequential)
   --export DIR    also write one .csv + .json per exhibit into DIR
   --metrics FILE  append JSON-lines telemetry (app/campaign/exhibit records)
   --progress      live heartbeat line on stderr while campaigns run
-  --profile       per-phase simulator time breakdown per campaign (stderr)";
+  --profile       per-phase simulator time breakdown per campaign (stderr)
+  --cache DIR     persistent result store: reuse per-app results whose
+                  configuration, ISA, and app are unchanged; write the rest
+  --no-cache      ignore --cache for this run (simulate and store nothing)
+  --cache-verify N  re-simulate N sampled cache hits per campaign and
+                  require bit-identical summaries (needs --cache)
+  --inject-panic APP  fault drill: panic the worker simulating APP; the run
+                  must still complete every other app and exit 1";
 
 /// Parsed command line. Parsing is strict: unknown flags, missing values,
 /// and `--jobs 0` are errors (exit 2), so a typo cannot silently run a
@@ -56,6 +70,10 @@ struct Args {
     metrics_path: Option<String>,
     progress: bool,
     profile: bool,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    cache_verify: Option<usize>,
+    inject_panic: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -66,6 +84,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         metrics_path: None,
         progress: false,
         profile: false,
+        cache_dir: None,
+        no_cache: false,
+        cache_verify: None,
+        inject_panic: None,
     };
     let mut i = 1;
     // A flag's value may not itself look like a flag: `--metrics --profile`
@@ -104,6 +126,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--progress" => args.progress = true,
             "--profile" => args.profile = true,
+            "--cache" => {
+                args.cache_dir = Some(value_of(i, "--cache")?);
+                i += 1;
+            }
+            "--no-cache" => args.no_cache = true,
+            "--cache-verify" => {
+                let v = value_of(i, "--cache-verify")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--cache-verify needs an integer, got {v:?}"))?;
+                args.cache_verify = Some(n);
+                i += 1;
+            }
+            "--inject-panic" => {
+                args.inject_panic = Some(value_of(i, "--inject-panic")?);
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -112,13 +151,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
         i += 1;
     }
+    if args.cache_verify.is_some() && args.cache_dir.is_none() {
+        return Err("--cache-verify needs --cache".to_string());
+    }
     Ok(args)
 }
 
 /// JSON-lines telemetry stream (`--metrics FILE`, append mode). With no
 /// path this is a no-op sink.
 struct Telemetry {
-    out: Option<std::io::BufWriter<std::fs::File>>,
+    out: Option<(String, std::io::BufWriter<std::fs::File>)>,
+}
+
+/// Report a failed write and give up. Exhibits and telemetry are the whole
+/// point of the run: truncated output that *looks* complete is worse than a
+/// loud exit, and the path tells the user which flag to fix.
+fn io_bail(what: &str, path: &std::path::Path, e: &std::io::Error) -> ! {
+    eprintln!("error: cannot write {what} {}: {e}", path.display());
+    std::process::exit(1);
 }
 
 impl Telemetry {
@@ -132,14 +182,26 @@ impl Telemetry {
                     eprintln!("cannot open metrics file {p:?}: {e}");
                     std::process::exit(2);
                 });
-            std::io::BufWriter::new(f)
+            (p.to_string(), std::io::BufWriter::new(f))
         });
         Self { out }
     }
 
     fn line(&mut self, record: &str) {
-        if let Some(w) = &mut self.out {
-            writeln!(w, "{record}").expect("write metrics record");
+        if let Some((path, w)) = &mut self.out {
+            if let Err(e) = writeln!(w, "{record}") {
+                io_bail("metrics file", std::path::Path::new(path), &e);
+            }
+        }
+    }
+
+    /// Flush buffered records; called once everything is emitted so a full
+    /// disk surfaces as an error, not a silently truncated stream.
+    fn finish(&mut self) {
+        if let Some((path, w)) = &mut self.out {
+            if let Err(e) = w.flush() {
+                io_bail("metrics file", std::path::Path::new(path), &e);
+            }
         }
     }
 
@@ -163,6 +225,18 @@ fn main() {
         eprintln!("error: {e}\n{USAGE}");
         std::process::exit(2);
     });
+    let store = match (&args.cache_dir, args.no_cache) {
+        (Some(dir), false) => {
+            let opened = ResultStore::open(dir).unwrap_or_else(|e| {
+                eprintln!("cannot open cache directory {dir:?}: {e}");
+                std::process::exit(2);
+            });
+            Some(Arc::new(
+                opened.with_verify_sample(args.cache_verify.unwrap_or(0)),
+            ))
+        }
+        _ => None,
+    };
     let opts = CampaignOptions {
         par: args.par,
         progress: args.progress,
@@ -171,27 +245,45 @@ fn main() {
         } else {
             bvf_obs::MetricsSink::disabled()
         },
+        store: store.clone(),
+        fault: args.inject_panic.clone(),
         ..CampaignOptions::default()
     };
     let mut telemetry = Telemetry::open(args.metrics_path.as_deref());
     if let Some(dir) = &args.export_dir {
-        std::fs::create_dir_all(dir).expect("create export directory");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            io_bail("export directory", std::path::Path::new(dir), &e);
+        }
     }
     let emit = |t: &bvf_sim::Table, telemetry: &mut Telemetry| {
         println!("{t}");
         if let Some(dir) = &args.export_dir {
             let base = std::path::Path::new(dir).join(&t.id);
-            std::fs::write(base.with_extension("csv"), t.to_csv()).expect("write csv");
-            std::fs::write(base.with_extension("json"), t.to_json()).expect("write json");
+            let csv = base.with_extension("csv");
+            if let Err(e) = std::fs::write(&csv, t.to_csv()) {
+                io_bail("exhibit", &csv, &e);
+            }
+            let json = base.with_extension("json");
+            if let Err(e) = std::fs::write(&json, t.to_json()) {
+                io_bail("exhibit", &json, &e);
+            }
         }
         telemetry.line(&metrics::exhibit_record(t));
     };
+    // Failed applications across every campaign: reported together at the
+    // end (and via exit 1), after all salvageable exhibits are emitted.
+    let failures: RefCell<Vec<(String, &'static str, String)>> = RefCell::new(Vec::new());
     // Run one campaign: print its run report (and, under --profile, its
     // phase breakdown) to stderr, append its telemetry records.
     let finish_campaign = |label: &str, c: &Campaign, telemetry: &mut Telemetry| {
         eprintln!("{}", c.run_report());
         if let Some(t) = c.phase_table() {
             eprintln!("[{label}] {t}");
+        }
+        for f in &c.failures {
+            failures
+                .borrow_mut()
+                .push((label.to_string(), f.app, f.error.clone()));
         }
         telemetry.campaign(label, c);
     };
@@ -331,5 +423,25 @@ fn main() {
         &mut telemetry,
     );
 
+    telemetry.finish();
+    if let Some(store) = &store {
+        let s = store.stats();
+        eprintln!(
+            "store: {} hits, {} misses ({} corrupt), {} writes under {}",
+            s.hits,
+            s.misses,
+            s.corrupt,
+            s.writes,
+            store.root().display(),
+        );
+    }
     eprintln!("all exhibits regenerated in {:?}", t0.elapsed());
+    let failures = failures.into_inner();
+    if !failures.is_empty() {
+        eprintln!("FAILED: {} application worker(s) panicked:", failures.len());
+        for (label, app, error) in &failures {
+            eprintln!("  [{label}] {app}: {error}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -8,8 +8,9 @@
 //! slots, never the simulators.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bvf_gpu::{CodingView, Gpu, GpuConfig, PhaseProfile, TraceSummary};
@@ -17,6 +18,7 @@ use bvf_isa::{derive_mask_for, Architecture};
 use bvf_obs::MetricsSink;
 use bvf_workloads::Application;
 
+use crate::store::ResultStore;
 use crate::table::Table;
 
 /// How many workers a campaign (or any [`parallel_map`]) may use.
@@ -105,6 +107,16 @@ pub struct CampaignOptions {
     /// aggregates counters across the whole campaign; the default disabled
     /// sink makes every probe a no-op.
     pub sink: MetricsSink,
+    /// Persistent result store. When set, each worker consults the store
+    /// before simulating (a hit skips the simulation entirely) and writes
+    /// fresh results back after a miss. `None` — the default — simulates
+    /// everything.
+    pub store: Option<Arc<ResultStore>>,
+    /// Fault-injection drill: a worker about to simulate this application
+    /// code panics instead. The panic must surface as an [`AppFailure`] on
+    /// the campaign — never abort the run — which is exactly what the
+    /// fault-isolation tests (and `reproduce --inject-panic`) assert.
+    pub fault: Option<String>,
 }
 
 impl Default for CampaignOptions {
@@ -114,6 +126,8 @@ impl Default for CampaignOptions {
             arch: Architecture::Pascal,
             progress: false,
             sink: MetricsSink::disabled(),
+            store: None,
+            fault: None,
         }
     }
 }
@@ -154,6 +168,18 @@ impl Progress {
             instr as f64 / 1e6,
             rate / 1e6,
         )
+    }
+}
+
+/// Stringify a panic payload: `panic!("...")` carries a `String` or a
+/// `&'static str`; anything else gets a placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -201,16 +227,33 @@ pub struct AppResult {
     pub wall: Duration,
     /// Simulator throughput: dynamic instructions per wall-clock second.
     pub instructions_per_second: f64,
+    /// Whether the summary came from the result store instead of a fresh
+    /// simulation.
+    pub cached: bool,
 }
 
-/// Equality ignores the timing fields: two results are the same result if
-/// they simulated the same application to the same summary, however long
-/// either run took. This is what lets the determinism tests compare
-/// sequential and parallel campaigns directly.
+/// Equality ignores the timing fields and the cache provenance: two results
+/// are the same result if they simulated the same application to the same
+/// summary, however long either run took and wherever the summary came
+/// from. This is what lets the determinism tests compare sequential,
+/// parallel, and cached campaigns directly.
 impl PartialEq for AppResult {
     fn eq(&self, other: &Self) -> bool {
         self.app == other.app && self.summary == other.summary
     }
+}
+
+/// One application whose worker panicked instead of producing a result.
+///
+/// A panic in one worker must never tear down the whole campaign: the
+/// worker catches it and the campaign records the application and the
+/// panic payload here, completing every other application normally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppFailure {
+    /// Code of the application whose simulation panicked.
+    pub app: &'static str,
+    /// The panic payload (stringified).
+    pub error: String,
 }
 
 /// A full simulation pass: configuration, derived ISA mask, and one result
@@ -224,8 +267,17 @@ pub struct Campaign {
     /// The ISA-preference mask derived from the campaign's kernel corpus
     /// (the paper's static method applied to this ISA).
     pub isa_mask: u64,
-    /// Per-application results, in registry order.
+    /// Per-application results, in registry order (failed applications are
+    /// absent here and listed in `failures`).
     pub results: Vec<AppResult>,
+    /// Applications whose workers panicked, in registry order.
+    pub failures: Vec<AppFailure>,
+    /// Results served from the store instead of simulated.
+    pub cache_hits: usize,
+    /// Results simulated because the store had no (usable) entry.
+    pub cache_misses: usize,
+    /// Cache hits re-simulated and checked bit-identical (`--cache-verify`).
+    pub cache_verified: usize,
     /// Total wall-clock time of the simulation fan-out.
     pub wall: Duration,
     /// Worker count the run actually used.
@@ -234,14 +286,17 @@ pub struct Campaign {
     index: HashMap<&'static str, usize>,
 }
 
-/// Equality ignores wall time and worker count (see [`AppResult`]'s
-/// `PartialEq`): a campaign is its configuration plus its results.
+/// Equality ignores wall time, worker count, and cache provenance (see
+/// [`AppResult`]'s `PartialEq`): a campaign is its configuration plus its
+/// results — and its failures, because a campaign that lost an application
+/// is not the same campaign.
 impl PartialEq for Campaign {
     fn eq(&self, other: &Self) -> bool {
         self.config == other.config
             && self.arch == other.arch
             && self.isa_mask == other.isa_mask
             && self.results == other.results
+            && self.failures == other.failures
     }
 }
 
@@ -302,30 +357,107 @@ impl Campaign {
         let views = CodingView::standard_set(isa_mask);
         let workers = opts.par.workers(apps.len());
         let progress = Progress::new(apps.len());
+        // Which hits this campaign double-checks against a fresh simulation
+        // (empty when no store or no verification is configured).
+        let verify = opts
+            .store
+            .as_deref()
+            .map(|s| s.verify_selection(apps.len()))
+            .unwrap_or_default();
+        let hits = AtomicUsize::new(0);
+        let misses = AtomicUsize::new(0);
+        let verified = AtomicUsize::new(0);
+        let hit_ctr = opts.sink.counter("store.hit");
+        let miss_ctr = opts.sink.counter("store.miss");
+        let verify_ctr = opts.sink.counter("store.verify");
+        // Workers need their registry index (for the verify selection), and
+        // `parallel_map` hands the callback only the item — so the items
+        // carry their index.
+        let indexed: Vec<(usize, &Application)> = apps.iter().enumerate().collect();
         let t0 = Instant::now();
-        let simulate = |app: &Application| {
+        let simulate = |&(i, app): &(usize, &Application)| -> Result<AppResult, AppFailure> {
             progress.started.fetch_add(1, Ordering::Relaxed);
             progress.busy.fetch_add(1, Ordering::Relaxed);
-            let result = Self::simulate_one(&config, &views, opts.arch, &opts.sink, app);
-            progress
-                .instructions
-                .fetch_add(result.summary.dynamic_instructions, Ordering::Relaxed);
+            // Everything fallible runs under `catch_unwind`: a panicking
+            // application (simulator bug, fault drill, failed cache
+            // verification) becomes an `AppFailure` on this campaign, and
+            // every other application still completes.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if opts.fault.as_deref() == Some(app.code) {
+                    panic!("injected fault: worker asked to fail on {}", app.code);
+                }
+                let Some(store) = opts.store.as_deref() else {
+                    return Self::simulate_one(&config, &views, opts.arch, &opts.sink, app);
+                };
+                let key = ResultStore::key(&config, opts.arch, isa_mask, app.code);
+                let t_load = Instant::now();
+                if let Some(summary) = store.load(key, app.code) {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    opts.sink.add(hit_ctr, 1);
+                    if verify.get(i).copied().unwrap_or(false) {
+                        let fresh = Self::simulate_one(&config, &views, opts.arch, &opts.sink, app);
+                        assert_eq!(
+                            fresh.summary, summary,
+                            "cache verification failed for {}: the stored summary is not \
+                             bit-identical to a fresh simulation — the simulator changed \
+                             without a STORE_FORMAT_VERSION bump",
+                            app.code
+                        );
+                        verified.fetch_add(1, Ordering::Relaxed);
+                        opts.sink.add(verify_ctr, 1);
+                    }
+                    let wall = t_load.elapsed();
+                    return AppResult {
+                        app: app.clone(),
+                        instructions_per_second: summary.dynamic_instructions as f64
+                            / wall.as_secs_f64().max(1e-9),
+                        summary,
+                        wall,
+                        cached: true,
+                    };
+                }
+                misses.fetch_add(1, Ordering::Relaxed);
+                opts.sink.add(miss_ctr, 1);
+                let result = Self::simulate_one(&config, &views, opts.arch, &opts.sink, app);
+                store.save(key, app.code, &result.summary);
+                result
+            }));
+            if let Ok(result) = &outcome {
+                progress
+                    .instructions
+                    .fetch_add(result.summary.dynamic_instructions, Ordering::Relaxed);
+            }
             progress.busy.fetch_sub(1, Ordering::Relaxed);
             progress.done.fetch_add(1, Ordering::Relaxed);
-            result
+            outcome.map_err(|payload| AppFailure {
+                app: app.code,
+                error: panic_message(payload),
+            })
         };
-        let results = if opts.progress {
-            with_heartbeat(&progress, || parallel_map(apps, opts.par, simulate))
+        let outcomes = if opts.progress {
+            with_heartbeat(&progress, || parallel_map(&indexed, opts.par, simulate))
         } else {
-            parallel_map(apps, opts.par, simulate)
+            parallel_map(&indexed, opts.par, simulate)
         };
         let wall = t0.elapsed();
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut failures = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(f) => failures.push(f),
+            }
+        }
         let index = Self::build_index(&results);
         Self {
             config,
             arch: opts.arch,
             isa_mask,
             results,
+            failures,
+            cache_hits: hits.into_inner(),
+            cache_misses: misses.into_inner(),
+            cache_verified: verified.into_inner(),
             wall,
             workers,
             index,
@@ -353,6 +485,7 @@ impl Campaign {
             summary,
             wall,
             instructions_per_second,
+            cached: false,
         }
     }
 
@@ -449,6 +582,10 @@ impl Campaign {
             .unwrap_or_default();
         RunReport {
             apps: self.results.len(),
+            failed: self.failures.len(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_verified: self.cache_verified,
             workers: self.workers,
             wall: self.wall,
             serial_wall: serial,
@@ -511,8 +648,16 @@ impl Campaign {
 /// Wall-clock summary of one campaign run (see [`Campaign::run_report`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
-    /// Applications simulated.
+    /// Applications that produced a result.
     pub apps: usize,
+    /// Applications whose workers panicked (see [`Campaign::failures`]).
+    pub failed: usize,
+    /// Results served from the result store.
+    pub cache_hits: usize,
+    /// Results simulated for lack of a usable store entry.
+    pub cache_misses: usize,
+    /// Cache hits re-simulated and checked bit-identical.
+    pub cache_verified: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole fan-out.
@@ -565,6 +710,22 @@ impl core::fmt::Display for RunReport {
         )?;
         if let Some((code, wall)) = self.slowest {
             write!(f, ", slowest app {code} at {wall:.3?}")?;
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            write!(
+                f,
+                "\n  cache: {} hit{}, {} miss{}",
+                self.cache_hits,
+                if self.cache_hits == 1 { "" } else { "s" },
+                self.cache_misses,
+                if self.cache_misses == 1 { "" } else { "es" },
+            )?;
+            if self.cache_verified > 0 {
+                write!(f, ", {} verified bit-identical", self.cache_verified)?;
+            }
+        }
+        if self.failed > 0 {
+            write!(f, "\n  FAILED: {} application(s) panicked", self.failed)?;
         }
         Ok(())
     }
@@ -809,5 +970,164 @@ mod tests {
     #[should_panic(expected = "no result for application")]
     fn missing_result_panics() {
         Campaign::smoke().result("nope");
+    }
+
+    /// A scratch store directory, wiped before use.
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bvf_campaign_store_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_opts(store: &Arc<ResultStore>) -> CampaignOptions {
+        CampaignOptions {
+            store: Some(Arc::clone(store)),
+            ..CampaignOptions::default()
+        }
+    }
+
+    #[test]
+    fn cached_campaign_is_bit_identical_to_fresh() {
+        let dir = temp_store("roundtrip");
+        let store = Arc::new(ResultStore::open(&dir).expect("open store"));
+        let cold = Campaign::smoke_with_options(&store_opts(&store));
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 6));
+        assert!(cold.results.iter().all(|r| !r.cached));
+        let warm = Campaign::smoke_with_options(&store_opts(&store));
+        assert_eq!((warm.cache_hits, warm.cache_misses), (6, 0));
+        assert!(warm.results.iter().all(|r| r.cached));
+        // The warm campaign equals both the cold one and a store-less run:
+        // PartialEq compares every counter in every TraceSummary, so this
+        // is the bit-identical guarantee of the persisted round trip.
+        assert_eq!(cold, warm);
+        assert_eq!(Campaign::smoke(), warm);
+        let report = warm.run_report();
+        assert_eq!((report.cache_hits, report.cache_misses), (6, 0));
+        assert!(format!("{report}").contains("cache: 6 hits, 0 misses"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest! {
+        /// Cached and fresh campaigns agree for any worker count — the
+        /// store must not interact with the fan-out's scheduling. One
+        /// store serves every case (the entries do not depend on the
+        /// worker count), so all but the first case run fully warm and
+        /// both the miss and the hit path face every parallelism.
+        #[test]
+        fn cached_campaigns_match_fresh_for_any_parallelism(workers in 1usize..5) {
+            let mut config = GpuConfig::baseline();
+            config.sms = 1;
+            let apps: Vec<Application> = ["VAD", "SGE"]
+                .iter()
+                .map(|c| Application::by_code(c).expect("app"))
+                .collect();
+            let dir = std::env::temp_dir()
+                .join(format!("bvf_campaign_store_{}_prop", std::process::id()));
+            let store = Arc::new(ResultStore::open(&dir).expect("open store"));
+            let opts = |store| CampaignOptions {
+                par: Parallelism::Fixed(workers),
+                store,
+                ..CampaignOptions::default()
+            };
+            let cached =
+                Campaign::run_with_options(config.clone(), &apps, &opts(Some(store)));
+            let fresh = Campaign::run_with_options(config, &apps, &opts(None));
+            prop_assert_eq!(&cached, &fresh);
+            prop_assert_eq!(cached.cache_hits + cached.cache_misses, 2);
+            prop_assert!(cached.failures.is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupted_cache_entries_fall_back_to_simulation() {
+        let dir = temp_store("corrupt");
+        let store = Arc::new(ResultStore::open(&dir).expect("open store"));
+        let cold = Campaign::smoke_with_options(&store_opts(&store));
+        // Vandalize every entry on disk.
+        let mut corrupted = 0;
+        for sub in std::fs::read_dir(&dir).expect("store dir") {
+            let sub = sub.expect("dir entry").path();
+            if !sub.is_dir() {
+                continue;
+            }
+            for f in std::fs::read_dir(&sub).expect("fan-out dir") {
+                std::fs::write(f.expect("entry").path(), b"not a store entry").expect("corrupt");
+                corrupted += 1;
+            }
+        }
+        assert_eq!(corrupted, 6, "every app left one entry");
+        // A fresh handle (cold stats) sees only misses and re-simulates.
+        let store = Arc::new(ResultStore::open(&dir).expect("reopen store"));
+        let warm = Campaign::smoke_with_options(&store_opts(&store));
+        assert_eq!((warm.cache_hits, warm.cache_misses), (0, 6));
+        assert_eq!(cold, warm, "corruption must never change results");
+        assert_eq!(store.stats().corrupt, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_failure_not_abort() {
+        let c = Campaign::smoke_with_options(&CampaignOptions {
+            par: Parallelism::Fixed(3),
+            fault: Some("BFS".to_string()),
+            ..CampaignOptions::default()
+        });
+        assert_eq!(c.results.len(), 5, "every other app still completes");
+        assert_eq!(c.failures.len(), 1);
+        assert_eq!(c.failures[0].app, "BFS");
+        assert!(c.failures[0].error.contains("injected fault"));
+        assert!(c.try_result("BFS").is_none());
+        assert_eq!(c.result("VAD").app.code, "VAD");
+        let report = c.run_report();
+        assert_eq!((report.apps, report.failed), (5, 1));
+        assert!(format!("{report}").contains("FAILED: 1 application(s) panicked"));
+    }
+
+    #[test]
+    fn cache_verification_resimulates_a_sample_and_counts_it() {
+        let dir = temp_store("verify");
+        let store = Arc::new(
+            ResultStore::open(&dir)
+                .expect("open store")
+                .with_verify_sample(2),
+        );
+        let sink = MetricsSink::enabled();
+        let opts = CampaignOptions {
+            sink: sink.clone(),
+            ..store_opts(&store)
+        };
+        let cold = Campaign::smoke_with_options(&opts);
+        assert_eq!(cold.cache_verified, 0, "nothing to verify on a cold run");
+        let warm = Campaign::smoke_with_options(&opts);
+        assert_eq!((warm.cache_hits, warm.cache_verified), (6, 2));
+        assert_eq!(cold, warm);
+        // The sink saw the same traffic the campaign counted.
+        assert_eq!(sink.counter_value(sink.counter("store.hit")), 6);
+        assert_eq!(sink.counter_value(sink.counter("store.miss")), 6);
+        assert_eq!(sink.counter_value(sink.counter("store.verify")), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_verification_catches_a_stale_entry() {
+        let dir = temp_store("verify_stale");
+        let store = Arc::new(
+            ResultStore::open(&dir)
+                .expect("open store")
+                .with_verify_sample(6),
+        );
+        let cold = Campaign::smoke_with_options(&store_opts(&store));
+        // Plant a stale entry: VAD's key now stores BLA's (validly encoded,
+        // wrong) summary — exactly what a simulator change without a
+        // STORE_FORMAT_VERSION bump would leave behind.
+        let key = ResultStore::key(&cold.config, cold.arch, cold.isa_mask, "VAD");
+        store.save(key, "VAD", &cold.result("BLA").summary);
+        let warm = Campaign::smoke_with_options(&store_opts(&store));
+        assert_eq!(warm.failures.len(), 1);
+        assert_eq!(warm.failures[0].app, "VAD");
+        assert!(warm.failures[0].error.contains("cache verification failed"));
+        assert_eq!(warm.results.len(), 5, "other apps are unaffected");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -31,7 +31,11 @@
 pub mod campaign;
 pub mod figures;
 pub mod metrics;
+pub mod store;
 pub mod table;
 
-pub use campaign::{parallel_map, AppResult, Campaign, CampaignOptions, Parallelism, RunReport};
+pub use campaign::{
+    parallel_map, AppFailure, AppResult, Campaign, CampaignOptions, Parallelism, RunReport,
+};
+pub use store::{ResultStore, STORE_FORMAT_VERSION};
 pub use table::Table;

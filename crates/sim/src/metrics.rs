@@ -21,10 +21,16 @@ use crate::campaign::{AppResult, Campaign};
 use crate::table::Table;
 
 /// Telemetry for one application result within a labelled campaign.
+///
+/// `cached` lives under `"timing"`: whether a result came from the store
+/// varies run to run (cold vs warm), while the result itself does not —
+/// that placement is what keeps scrubbed cold and warm streams
+/// byte-identical.
 pub fn app_record(campaign: &str, r: &AppResult) -> String {
     let timing = Record::object()
         .u64("wall_ns", r.wall.as_nanos() as u64)
         .f64("instructions_per_second", r.instructions_per_second)
+        .bool("cached", r.cached)
         .finish();
     Record::new("app")
         .str("campaign", campaign)
@@ -48,6 +54,9 @@ pub fn campaign_record(label: &str, c: &Campaign) -> String {
         .u64("wall_ns", report.wall.as_nanos() as u64)
         .u64("serial_wall_ns", report.serial_wall.as_nanos() as u64)
         .u64("workers", report.workers as u64)
+        .u64("cache_hits", report.cache_hits as u64)
+        .u64("cache_misses", report.cache_misses as u64)
+        .u64("cache_verified", report.cache_verified as u64)
         .f64("speedup", report.speedup)
         .u64("min_app_wall_ns", report.min_app_wall.as_nanos() as u64)
         .u64("mean_app_wall_ns", report.mean_app_wall.as_nanos() as u64)
@@ -75,13 +84,29 @@ pub fn campaign_record(label: &str, c: &Campaign) -> String {
             .u64("launch_nanos", profile.launch_nanos)
             .raw("phases", &format!("[{}]", slices.join(",")));
     }
-    Record::new("campaign")
+    let mut rec = Record::new("campaign")
         .str("campaign", label)
         .u64("apps", c.results.len() as u64)
+        .u64("failed", c.failures.len() as u64)
         .str("isa_mask", &format!("{:#018x}", c.isa_mask))
-        .u64("total_instructions", report.total_instructions)
-        .raw("timing", &timing.finish())
-        .finish()
+        .u64("total_instructions", report.total_instructions);
+    // Failures are deterministic given the invocation (a panic is a
+    // simulator property, not a scheduling accident), so they sit outside
+    // "timing" where the determinism checks will catch a flaky one.
+    if !c.failures.is_empty() {
+        let fails: Vec<String> = c
+            .failures
+            .iter()
+            .map(|f| {
+                Record::object()
+                    .str("app", f.app)
+                    .str("error", &f.error)
+                    .finish()
+            })
+            .collect();
+        rec = rec.raw("failures", &format!("[{}]", fails.join(",")));
+    }
+    rec.raw("timing", &timing.finish()).finish()
 }
 
 /// Telemetry for one rendered exhibit (a paper table/figure).
@@ -164,6 +189,60 @@ mod tests {
         let c = tiny_campaign(MetricsSink::disabled());
         let v = json::parse(&campaign_record("main", &c)).expect("valid JSON");
         assert!(v.get("timing").expect("timing").get("phases").is_none());
+    }
+
+    #[test]
+    fn cache_traffic_is_timing_and_failures_are_not() {
+        let c = tiny_campaign(MetricsSink::disabled());
+        let v = json::parse(&campaign_record("main", &c)).expect("valid JSON");
+        let timing = v.get("timing").expect("timing object");
+        // Hit/miss counts vary cold vs warm, so they must be scrubbed with
+        // the rest of the run-dependent story.
+        assert!(timing.get("cache_hits").is_some());
+        assert!(timing.get("cache_misses").is_some());
+        assert!(timing.get("cache_verified").is_some());
+        assert_eq!(v.get("failed").and_then(json::Value::as_f64), Some(0.0));
+        assert!(v.get("failures").is_none(), "no failures key when clean");
+        // An app record carries its cache provenance under timing too.
+        let a = json::parse(&app_record("main", &c.results[0])).expect("valid JSON");
+        assert_eq!(
+            a.get("timing").expect("timing").get("cached"),
+            Some(&json::Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn failed_campaign_record_lists_the_failures() {
+        let mut config = GpuConfig::baseline();
+        config.sms = 1;
+        let apps: Vec<Application> = ["VAD", "SGE"]
+            .iter()
+            .map(|c| Application::by_code(c).expect("app"))
+            .collect();
+        let c = Campaign::run_with_options(
+            config,
+            &apps,
+            &CampaignOptions {
+                par: Parallelism::Sequential,
+                fault: Some("SGE".to_string()),
+                ..CampaignOptions::default()
+            },
+        );
+        let v = json::parse(&campaign_record("main", &c)).expect("valid JSON");
+        assert_eq!(v.get("apps").and_then(json::Value::as_f64), Some(1.0));
+        assert_eq!(v.get("failed").and_then(json::Value::as_f64), Some(1.0));
+        let json::Value::Array(fails) = v.get("failures").expect("failures") else {
+            panic!("failures must be an array");
+        };
+        assert_eq!(
+            fails[0].get("app").and_then(json::Value::as_str),
+            Some("SGE")
+        );
+        assert!(fails[0]
+            .get("error")
+            .and_then(json::Value::as_str)
+            .expect("error string")
+            .contains("injected fault"));
     }
 
     #[test]

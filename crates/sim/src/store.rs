@@ -1,0 +1,235 @@
+//! [`ResultStore`]: the campaign-level face of the on-disk result cache.
+//!
+//! A campaign consults the store before simulating each application. The
+//! content address of an entry is an FNV-1a hash over the deterministic
+//! encoding of everything the simulation result is a function of:
+//!
+//! ```text
+//! key = fnv1a( STORE_FORMAT_VERSION
+//!            ‖ GpuConfig (every field, caches as (bytes, line, assoc))
+//!            ‖ Architecture tag ‖ derived ISA mask
+//!            ‖ application code )
+//! ```
+//!
+//! Anything that changes the simulated outcome therefore changes the key:
+//! a different SM count, scheduler, cache geometry, ISA generation, suite
+//! mask, or application misses cleanly and re-simulates. What the key can
+//! **not** see is the simulator's own code; that is what
+//! [`STORE_FORMAT_VERSION`] is for — bump it whenever a change alters
+//! simulated counters or any persisted layout, and every old entry becomes
+//! unreachable. As a guard against forgetting the bump, `--cache-verify N`
+//! re-simulates a deterministic pseudo-random-by-index sample of cache
+//! hits and asserts the stored summary is bit-identical to a fresh run.
+//!
+//! The payload is the application code (an echo, guarding FNV collisions
+//! and hand-renamed files) plus the [`TraceSummary`] via its [`Persist`]
+//! encoding. Corrupt or stale entries fall back to simulation — the store
+//! can make a run faster, never wrong or failed.
+
+use std::path::Path;
+
+use bvf_gpu::{GpuConfig, TraceSummary};
+use bvf_isa::Architecture;
+use bvf_store::{fnv1a, DiskStore, Persist, Reader, StoreStats, Writer};
+
+/// Version of the key/payload format. Bump on ANY change to the simulated
+/// counters, the key preimage, or a persisted type's layout: old entries
+/// then re-key to misses instead of serving stale or misparsed results.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// A content-addressed store of per-application simulation results.
+///
+/// All methods take `&self`: one handle (behind an `Arc`) is shared by
+/// every campaign worker.
+#[derive(Debug)]
+pub struct ResultStore {
+    disk: DiskStore,
+    verify_sample: usize,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            disk: DiskStore::open(dir.as_ref())?,
+            verify_sample: 0,
+        })
+    }
+
+    /// Re-simulate up to `n` cache hits per campaign and assert the stored
+    /// summaries are bit-identical (the `--cache-verify N` behavior).
+    pub fn with_verify_sample(mut self, n: usize) -> Self {
+        self.verify_sample = n;
+        self
+    }
+
+    /// How many hits per campaign are re-simulated for verification.
+    pub fn verify_sample(&self) -> usize {
+        self.verify_sample
+    }
+
+    /// The directory entries live under.
+    pub fn root(&self) -> &Path {
+        self.disk.root()
+    }
+
+    /// The content address for one `(config, arch, mask, app)` simulation.
+    pub fn key(config: &GpuConfig, arch: Architecture, isa_mask: u64, app_code: &str) -> u64 {
+        let mut w = Writer::new();
+        w.u32(STORE_FORMAT_VERSION);
+        encode_config(&mut w, config);
+        w.u8(arch_tag(arch));
+        w.u64(isa_mask);
+        w.str(app_code);
+        fnv1a(w.bytes())
+    }
+
+    /// Load the cached summary for `key`, or `None` on any miss (absent,
+    /// corrupt, foreign format, or an app-code echo mismatch).
+    pub fn load(&self, key: u64, app_code: &str) -> Option<TraceSummary> {
+        let payload = self.disk.load(key)?;
+        let mut r = Reader::new(&payload);
+        let echo = r.str().ok()?;
+        if echo != app_code {
+            return None;
+        }
+        let summary = TraceSummary::restore(&mut r).ok()?;
+        r.finish().ok()?;
+        Some(summary)
+    }
+
+    /// Store `summary` under `key`. Write failures are swallowed — a
+    /// read-only or full cache directory degrades to plain simulation.
+    pub fn save(&self, key: u64, app_code: &str, summary: &TraceSummary) {
+        let mut w = Writer::new();
+        w.str(app_code);
+        summary.persist(&mut w);
+        let _ = self.disk.save(key, w.bytes());
+    }
+
+    /// Which of `apps` application indices this campaign should re-verify
+    /// on a hit: a deterministic pseudo-random-by-index sample of
+    /// [`Self::verify_sample`] indices (rank every index by the FNV-1a
+    /// hash of its bytes and take the smallest — no RNG state, identical
+    /// across runs and worker counts).
+    pub fn verify_selection(&self, apps: usize) -> Vec<bool> {
+        let mut selected = vec![false; apps];
+        if self.verify_sample == 0 || apps == 0 {
+            return selected;
+        }
+        let mut ranked: Vec<(u64, usize)> = (0..apps)
+            .map(|i| (fnv1a(&(i as u64).to_le_bytes()), i))
+            .collect();
+        ranked.sort_unstable();
+        for &(_, i) in ranked.iter().take(self.verify_sample) {
+            selected[i] = true;
+        }
+        selected
+    }
+
+    /// Counter snapshot from the underlying disk store.
+    pub fn stats(&self) -> StoreStats {
+        self.disk.stats()
+    }
+}
+
+/// Stable tag for an ISA generation (part of the store format).
+fn arch_tag(arch: Architecture) -> u8 {
+    Architecture::ALL
+        .iter()
+        .position(|&a| a == arch)
+        .expect("every architecture is in Architecture::ALL") as u8
+}
+
+/// Encode every field of a [`GpuConfig`] (the simulation's entire
+/// configuration-space identity) into the key preimage.
+fn encode_config(w: &mut Writer, c: &GpuConfig) {
+    w.str(&c.name);
+    w.u32(c.sms);
+    w.u32(c.warps_per_sm);
+    w.u32(c.reg_bytes_per_sm);
+    w.u32(c.smem_bytes_per_sm);
+    w.u32(c.smem_banks);
+    for cache in [c.l1d, c.l1i, c.l1c, c.l1t, c.l2_bank] {
+        w.u64(cache.bytes());
+        w.u32(cache.line_bytes());
+        w.u32(cache.assoc());
+    }
+    w.u32(c.l2_banks);
+    w.usize(c.noc_flit_bytes);
+    w.u32(c.mshrs);
+    w.u32(c.reg_banks);
+    w.u8(match c.scheduler {
+        bvf_gpu::SchedulerKind::Gto => 0,
+        bvf_gpu::SchedulerKind::Lrr => 1,
+        bvf_gpu::SchedulerKind::TwoLevel => 2,
+    });
+    w.u32(c.miss_latency);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bvf_result_store_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_separate_every_configuration_axis() {
+        let base = GpuConfig::baseline();
+        let key = |c: &GpuConfig, arch, mask, app| ResultStore::key(c, arch, mask, app);
+        let k0 = key(&base, Architecture::Pascal, 0xff, "VAD");
+
+        let mut sms = base.clone();
+        sms.sms = 14;
+        let mut sched = base.clone();
+        sched.scheduler = bvf_gpu::SchedulerKind::Lrr;
+
+        let variants = [
+            key(&sms, Architecture::Pascal, 0xff, "VAD"),
+            key(&sched, Architecture::Pascal, 0xff, "VAD"),
+            key(&base, Architecture::Kepler, 0xff, "VAD"),
+            key(&base, Architecture::Pascal, 0xfe, "VAD"),
+            key(&base, Architecture::Pascal, 0xff, "BFS"),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(*v, k0, "axis {i} did not change the key");
+        }
+        // And the key is a pure function: same inputs, same address.
+        assert_eq!(key(&base, Architecture::Pascal, 0xff, "VAD"), k0);
+    }
+
+    #[test]
+    fn verify_selection_is_deterministic_and_sized() {
+        let store = ResultStore::open(temp_dir("verify"))
+            .expect("open")
+            .with_verify_sample(3);
+        let a = store.verify_selection(10);
+        let b = store.verify_selection(10);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|&&s| s).count(), 3);
+        // More samples than apps: everything is verified, nothing panics.
+        assert_eq!(store.verify_selection(2), vec![true, true]);
+        // No sampling configured: nothing is selected.
+        let none = ResultStore::open(temp_dir("verify_none")).expect("open");
+        assert_eq!(none.verify_selection(5), vec![false; 5]);
+    }
+
+    #[test]
+    fn app_code_echo_guards_collisions() {
+        let store = ResultStore::open(temp_dir("echo")).expect("open");
+        // Craft a payload for "VAD" and try to read it back as "BFS" under
+        // the same (hypothetically colliding) key.
+        let mut w = Writer::new();
+        w.str("VAD");
+        // A truncated summary would also fail, but the echo check must
+        // reject first.
+        let key = 42;
+        let _ = store.disk.save(key, w.bytes());
+        assert!(store.load(key, "BFS").is_none());
+    }
+}

@@ -22,6 +22,10 @@ fn bad_arguments_exit_2_without_running() {
         &["--metrics", "--profile"], // flag where a value belongs
         &["--frobnicate"],
         &["qwick"],
+        &["--cache"],
+        &["--cache-verify", "two", "--cache", "d"],
+        &["--cache-verify", "2"], // verification without a store
+        &["--inject-panic"],
     ] {
         let out = reproduce().args(argv).output().expect("spawn reproduce");
         assert_eq!(
@@ -123,4 +127,147 @@ fn metrics_are_deterministic_across_worker_counts_modulo_timing() {
     for p in [&m1, &m3] {
         let _ = std::fs::remove_file(p);
     }
+}
+
+fn mine(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bvf_reproduce_cli_{}_{name}", std::process::id()))
+}
+
+/// An unwritable `--export` path must name the failing path on stderr and
+/// exit 1 — not panic (the pre-fix behavior was an `.expect()` unwind).
+#[test]
+fn unwritable_export_path_exits_1_and_names_the_path() {
+    let blocker = mine("export_blocker");
+    std::fs::write(&blocker, b"a file where a directory must go").expect("blocker");
+    let target = blocker.join("exhibits");
+    let out = reproduce()
+        .args(["quick", "--export"])
+        .arg(&target)
+        .output()
+        .expect("spawn reproduce");
+    assert_eq!(out.status.code(), Some(1), "I/O failure must exit 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains(&target.display().to_string()),
+        "stderr must name the failing path: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "an I/O error is a reported failure, not a panic: {err}"
+    );
+    let _ = std::fs::remove_file(&blocker);
+}
+
+/// The incremental-reproduction contract: a warm `--cache` run skips every
+/// simulation (misses = 0 in the campaign telemetry) yet produces
+/// byte-identical exhibits, exports, and scrubbed telemetry.
+#[test]
+fn warm_cache_run_is_byte_identical_and_fully_cached() {
+    let cache = mine("cache_store");
+    let (exp_a, exp_b) = (mine("cache_exp_a"), mine("cache_exp_b"));
+    let (met_a, met_b) = (mine("cache_a.jsonl"), mine("cache_b.jsonl"));
+    for p in [&cache, &exp_a, &exp_b] {
+        let _ = std::fs::remove_dir_all(p);
+    }
+    for p in [&met_a, &met_b] {
+        let _ = std::fs::remove_file(p);
+    }
+    let run = |exp: &PathBuf, met: &PathBuf| {
+        let out = reproduce()
+            .args(["quick", "--jobs", "2", "--cache"])
+            .arg(&cache)
+            .arg("--export")
+            .arg(exp)
+            .arg("--metrics")
+            .arg(met)
+            .output()
+            .expect("spawn reproduce");
+        assert!(out.status.success(), "cached run failed: {out:?}");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let cold = run(&exp_a, &met_a);
+    let warm = run(&exp_b, &met_b);
+    assert_eq!(cold, warm, "exhibit tables must not depend on cache state");
+
+    // Every exported exhibit is byte-for-byte identical across runs.
+    let mut files: Vec<_> = std::fs::read_dir(&exp_a)
+        .expect("export dir")
+        .map(|e| e.expect("entry").file_name())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 20, "suspiciously few exports: {files:?}");
+    for name in &files {
+        let a = std::fs::read(exp_a.join(name)).expect("cold export");
+        let b = std::fs::read(exp_b.join(name)).expect("warm export");
+        assert_eq!(a, b, "export {name:?} differs between cold and warm");
+    }
+
+    // Campaign telemetry: the warm run simulated nothing (its misses are
+    // all zero) and the scrubbed streams are byte-identical.
+    let campaign_traffic = |p: &PathBuf| -> (f64, f64) {
+        let mut hits = 0.0;
+        let mut misses = 0.0;
+        for line in std::fs::read_to_string(p).expect("metrics").lines() {
+            let v = json::parse(line).expect("valid JSON");
+            if v.get("record").and_then(Value::as_str) != Some("campaign") {
+                continue;
+            }
+            let t = v.get("timing").expect("timing");
+            hits += t.get("cache_hits").and_then(Value::as_f64).expect("hits");
+            misses += t
+                .get("cache_misses")
+                .and_then(Value::as_f64)
+                .expect("misses");
+        }
+        (hits, misses)
+    };
+    let (cold_hits, cold_misses) = campaign_traffic(&met_a);
+    let (warm_hits, warm_misses) = campaign_traffic(&met_b);
+    assert!(cold_misses > 0.0, "cold run must simulate");
+    assert_eq!(warm_misses, 0.0, "warm run must skip every simulation");
+    assert_eq!(warm_hits, cold_hits + cold_misses);
+    let scrubbed = |p: &PathBuf| -> Vec<String> {
+        std::fs::read_to_string(p)
+            .expect("metrics")
+            .lines()
+            .map(scrub)
+            .collect()
+    };
+    assert_eq!(
+        scrubbed(&met_a),
+        scrubbed(&met_b),
+        "scrubbed telemetry differs between cold and warm"
+    );
+
+    for p in [&cache, &exp_a, &exp_b] {
+        let _ = std::fs::remove_dir_all(p);
+    }
+    for p in [&met_a, &met_b] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Fault isolation end to end: a panicking app worker must not tear down
+/// the run — every exhibit that does not need the lost app still prints,
+/// the failure is summarized on stderr, and the process exits 1.
+#[test]
+fn injected_panic_completes_the_run_and_exits_1() {
+    let out = reproduce()
+        .args(["quick", "--jobs", "2", "--inject-panic", "BFS"])
+        .output()
+        .expect("spawn reproduce");
+    assert_eq!(out.status.code(), Some(1), "failures must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The ablations run after every campaign that loses BFS: reaching
+    // their exhibits proves no campaign aborted the run.
+    assert!(
+        stdout.contains("ablation-pivot"),
+        "late exhibits missing — the run was torn down early"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("FAILED"), "no failure summary: {err}");
+    assert!(
+        err.contains("BFS") && err.contains("injected fault"),
+        "summary must name the app and the panic payload: {err}"
+    );
 }

@@ -1,0 +1,244 @@
+//! [`DiskStore`]: a directory of content-addressed, checksummed entries.
+//!
+//! Layout: `root/<kk>/<keyhex>.bvfs`, where `<kk>` is the key's top byte in
+//! hex (a two-level fan-out so no single directory grows unboundedly).
+//! Each file is:
+//!
+//! ```text
+//! magic "BVFS" | format u32 | key u64 | payload_len u64 | payload fnv u64 | payload
+//! ```
+//!
+//! all little-endian via the [`crate::codec`] writer. Every failure mode on
+//! the read path — missing file, bad magic, foreign format version, key
+//! mismatch (an FNV collision or a renamed file), length mismatch, checksum
+//! mismatch — is a **miss**, never an error: the store may only ever make a
+//! run faster, it must not be able to fail or poison one. Writes are
+//! atomic: the entry is written to a temporary sibling and `rename`d into
+//! place, so a crashed or concurrent writer can never leave a half-written
+//! entry where a reader finds it.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::{Reader, Writer};
+use crate::fnv::fnv1a;
+
+/// File magic: identifies a BVF store entry.
+const MAGIC: &[u8; 4] = b"BVFS";
+/// On-disk container format version (the *payload* format is versioned by
+/// the caller inside its key preimage).
+const CONTAINER_VERSION: u32 = 1;
+/// Entry filename extension.
+const EXT: &str = "bvfs";
+
+/// Monotonic counter making temporary filenames unique within a process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative counters for one store handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful loads.
+    pub hits: u64,
+    /// Loads that found no entry.
+    pub misses: u64,
+    /// Loads that found an entry but rejected it (bad header, checksum,
+    /// key echo, or length) — counted as misses too.
+    pub corrupt: u64,
+    /// Entries written.
+    pub writes: u64,
+}
+
+/// A directory-backed `u64 key -> bytes` store. All methods take `&self`;
+/// a store handle is shared freely across campaign workers.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path an entry for `key` lives at.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.root
+            .join(format!("{:02x}", key >> 56))
+            .join(format!("{key:016x}.{EXT}"))
+    }
+
+    /// Load the payload stored under `key`, or `None` on a miss (including
+    /// every corruption mode — see the module docs).
+    pub fn load(&self, key: u64) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match Self::parse_entry(key, &bytes) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn parse_entry(key: u64, bytes: &[u8]) -> Option<Vec<u8>> {
+        let mut r = Reader::new(bytes);
+        let magic: [u8; 4] = [r.u8().ok()?, r.u8().ok()?, r.u8().ok()?, r.u8().ok()?];
+        if &magic != MAGIC || r.u32().ok()? != CONTAINER_VERSION || r.u64().ok()? != key {
+            return None;
+        }
+        let len = r.usize().ok()?;
+        let checksum = r.u64().ok()?;
+        let payload = r.rest();
+        if payload.len() != len || fnv1a(payload) != checksum {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Store `payload` under `key`, atomically replacing any prior entry.
+    pub fn save(&self, key: u64, payload: &[u8]) -> std::io::Result<()> {
+        let path = self.entry_path(key);
+        let dir = path.parent().expect("entry path has a parent");
+        std::fs::create_dir_all(dir)?;
+        let mut w = Writer::new();
+        for &b in MAGIC {
+            w.u8(b);
+        }
+        w.u32(CONTAINER_VERSION);
+        w.u64(key);
+        w.usize(payload.len());
+        w.u64(fnv1a(payload));
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(payload);
+        let tmp = dir.join(format!(
+            ".{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        let renamed = std::fs::rename(&tmp, &path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot of this handle's counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> DiskStore {
+        let dir = std::env::temp_dir().join(format!(
+            "bvf_store_test_{}_{tag}_{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskStore::open(dir).expect("open store")
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let s = temp_store("roundtrip");
+        assert_eq!(s.load(7), None, "empty store misses");
+        s.save(7, b"payload bytes").expect("save");
+        assert_eq!(s.load(7).as_deref(), Some(&b"payload bytes"[..]));
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses, st.writes, st.corrupt), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn save_overwrites_atomically() {
+        let s = temp_store("overwrite");
+        s.save(9, b"old").expect("save");
+        s.save(9, b"new").expect("save");
+        assert_eq!(s.load(9).as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let s = temp_store("corrupt");
+        s.save(3, b"good payload").expect("save");
+        let path = s.entry_path(3);
+
+        // Flip a payload byte: checksum mismatch.
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert_eq!(s.load(3), None);
+
+        // Truncate mid-header.
+        std::fs::write(&path, &bytes[..6]).expect("rewrite");
+        assert_eq!(s.load(3), None);
+
+        // Garbage magic.
+        std::fs::write(&path, b"not a store entry at all").expect("rewrite");
+        assert_eq!(s.load(3), None);
+
+        assert_eq!(s.stats().corrupt, 3);
+    }
+
+    #[test]
+    fn key_echo_rejects_renamed_entries() {
+        let s = temp_store("echo");
+        s.save(1, b"belongs to key 1").expect("save");
+        let from = s.entry_path(1);
+        let to = s.entry_path(2);
+        std::fs::create_dir_all(to.parent().unwrap()).expect("mkdir");
+        std::fs::rename(&from, &to).expect("rename");
+        assert_eq!(s.load(2), None, "entry for key 1 must not serve key 2");
+        assert_eq!(s.stats().corrupt, 1);
+    }
+
+    #[test]
+    fn entries_fan_out_by_top_byte() {
+        let s = temp_store("fanout");
+        let key = 0xAB00_0000_0000_0001;
+        s.save(key, b"x").expect("save");
+        assert!(s.entry_path(key).starts_with(s.root().join("ab")));
+        assert!(s.entry_path(key).exists());
+    }
+}

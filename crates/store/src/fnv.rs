@@ -1,0 +1,75 @@
+//! FNV-1a 64-bit hashing.
+//!
+//! FNV-1a is the content-address function of the store: it is stable
+//! across platforms and Rust versions (unlike `DefaultHasher`, whose
+//! output is explicitly unspecified), trivially implementable without
+//! dependencies, and good enough for a keyspace of at most a few thousand
+//! entries where the header's key echo catches the (astronomically
+//! unlikely) collision on load.
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self(OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash `bytes` in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Reference values of FNV-1a 64 from the FNV specification page.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a(b"campaign-a"), fnv1a(b"campaign-b"));
+    }
+}
