@@ -32,9 +32,35 @@ fn bench_record_register(c: &mut Criterion) {
     let mut g = c.benchmark_group("collector_record_register");
     let lanes: [u32; 32] = core::array::from_fn(|i| 0x3f80_0000 + i as u32);
     g.throughput(Throughput::Bytes(32 * 4));
-    g.bench_function("full_warp_five_views", |b| {
+    // Identical input every iteration: after the first event this measures
+    // the register-memo hit path (re-reading an unchanged register).
+    g.bench_function("full_warp_five_views_memo_hit", |b| {
         let mut col = collector();
         b.iter(|| col.record_register(AccessKind::Write, black_box(&lanes), u32::MAX))
+    });
+    // Distinct input every iteration (more patterns than memo ways): the
+    // full transpose-and-count path a register write takes.
+    g.bench_function("full_warp_five_views_memo_miss", |b| {
+        let patterns: Vec<[u32; 32]> = (0..512u32)
+            .map(|p| core::array::from_fn(|i| (p << 16) ^ (0x3f80_0000 + i as u32)))
+            .collect();
+        let mut col = collector();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % patterns.len();
+            col.record_register(AccessKind::Write, black_box(&patterns[k]), u32::MAX)
+        })
+    });
+    g.finish();
+}
+
+fn bench_record_shared(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collector_record_shared");
+    let lanes: [u32; 32] = core::array::from_fn(|i| (i as u32).wrapping_mul(0x9e37_79b9));
+    g.throughput(Throughput::Bytes(32 * 4));
+    g.bench_function("full_warp_five_views", |b| {
+        let mut col = collector();
+        b.iter(|| col.record_shared(AccessKind::Read, black_box(&lanes), u32::MAX))
     });
     g.finish();
 }
@@ -70,6 +96,7 @@ criterion_group!(
     benches,
     bench_record_line,
     bench_record_register,
+    bench_record_shared,
     bench_record_noc_packet,
     bench_record_instruction_line
 );

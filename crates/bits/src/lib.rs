@@ -14,6 +14,9 @@
 //!   negative words).
 //! * **Bit-position histograms** — per-position 0/1 occurrence probabilities
 //!   over instruction binaries, from which the ISA-preference mask is derived.
+//! * **Bit-planes** — the 32×32 transpose of a warp's lane words, so that
+//!   per-bit-column statistics (and the XNOR coder transforms) run as a few
+//!   wide word ops instead of per-value scalar loops.
 //!
 //! The crate is dependency-light and deterministic so that the statistics it
 //! produces are exactly reproducible across runs.
@@ -36,6 +39,7 @@
 pub mod hamming;
 pub mod leakage;
 pub mod persist;
+pub mod plane;
 pub mod position;
 pub mod profile;
 pub mod stats;
@@ -46,6 +50,7 @@ pub use hamming::{
     distance_to_splat, distance_u32, distance_u64, weight_bytes, weight_u32, weight_u64,
 };
 pub use leakage::OccupancyIntegrator;
+pub use plane::{splat_bit, transpose32, BitPlanes};
 pub use position::PositionHistogram;
 pub use profile::{signed_leading_bits_u32, NarrowValueProfile};
 pub use stats::BitCounts;

@@ -1,0 +1,249 @@
+//! Bit-plane (bit-sliced) view of a 32-lane warp access.
+//!
+//! The BVF analysis is fundamentally per *bit position*: one-counts per SRAM
+//! column, toggles per wire. The natural layout for that is the transpose of
+//! the lane matrix — plane `b` packs bit `b` of every lane into one `u32` —
+//! so a per-bit-column statistic over a whole warp becomes a single wide
+//! logic op plus a popcount instead of a 32-iteration scalar loop.
+//!
+//! [`BitPlanes`] holds the transposed matrix; [`transpose32`] is the
+//! in-place 32×32 bit-matrix transpose (the classic delta-swap network,
+//! five O(32) stages). The XNOR-style coder transforms become plane-wise
+//! kernels on this layout (see `bvf_core::NvCoder::encode_planes` and
+//! `bvf_core::VsCoder::encode_warp_planes`).
+
+/// In-place 32×32 bit-matrix transpose.
+///
+/// Element `(r, c)` is bit `c` of `a[r]` (LSB = column 0). After the call,
+/// bit `c` of `a[r]` equals bit `r` of the original `a[c]`.
+///
+/// The classic five-stage delta-swap network, run on row *pairs* packed
+/// into `u64`s (row `2r` in the low half, row `2r+1` in the high half).
+/// For swap distances `j >= 2` both rows of a word pair with the matching
+/// rows `j` lanes down, so one `u64` delta-swap performs two row swaps;
+/// the stage masks never select a bit position that the cross-row shift
+/// could contaminate (the mask's top set bit is `31 - j` in each half).
+/// The final `j = 1` stage exchanges bits between the two rows *inside*
+/// each word as a distance-31 delta swap. Roughly half the word ops of
+/// the plain `u32` network, all branch-free.
+#[inline]
+pub fn transpose32(a: &mut [u32; 32]) {
+    let mut w = [0u64; 16];
+    for (i, q) in a.chunks_exact(2).enumerate() {
+        w[i] = (u64::from(q[1]) << 32) | u64::from(q[0]);
+    }
+    let mut j = 16usize;
+    let mut m = 0x0000_ffff_0000_ffffu64;
+    while j >= 2 {
+        let h = j / 2;
+        let mut k = 0usize;
+        while k < 16 {
+            let t = ((w[k] >> j) ^ w[k + h]) & m;
+            w[k] ^= t << j;
+            w[k + h] ^= t;
+            k = (k + h + 1) & !h;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+    for x in &mut w {
+        // Exchange bit c+1 of the low row with bit c of the high row for
+        // even c: the j = 1 stage folded into one in-word swap.
+        let t = ((*x >> 31) ^ *x) & 0x0000_0000_aaaa_aaaa;
+        *x ^= t ^ (t << 31);
+    }
+    for (i, x) in w.iter().enumerate() {
+        a[2 * i] = *x as u32;
+        a[2 * i + 1] = (*x >> 32) as u32;
+    }
+}
+
+/// Broadcast bit `bit` of `word` to all 32 positions (all-ones or zero).
+///
+/// This is the plane-space form of "XNOR every lane with the pivot lane":
+/// the pivot lane's bit in a plane becomes a full-width splat operand.
+#[inline]
+pub fn splat_bit(word: u32, bit: u32) -> u32 {
+    (word >> bit & 1).wrapping_neg()
+}
+
+/// The bit-plane transpose of a warp's 32 lane words.
+///
+/// Plane `b` collects bit `b` of every lane: bit `l` of `planes()[b]` is
+/// bit `b` of lane `l`. The transpose is an involution, so
+/// [`BitPlanes::to_lanes`] uses the same network.
+///
+/// # Example
+///
+/// ```
+/// use bvf_bits::BitPlanes;
+///
+/// let mut lanes = [0u32; 32];
+/// lanes[3] = 0b101; // lane 3 has bits 0 and 2 set
+/// let p = BitPlanes::from_lanes(&lanes);
+/// assert_eq!(p.planes()[0], 1 << 3);
+/// assert_eq!(p.planes()[1], 0);
+/// assert_eq!(p.planes()[2], 1 << 3);
+/// assert_eq!(p.to_lanes(), lanes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitPlanes {
+    planes: [u32; 32],
+}
+
+impl BitPlanes {
+    /// Transpose a warp's lane words into bit-planes.
+    #[inline]
+    pub fn from_lanes(lanes: &[u32; 32]) -> Self {
+        let mut planes = *lanes;
+        transpose32(&mut planes);
+        Self { planes }
+    }
+
+    /// Transpose back into lane words.
+    #[inline]
+    pub fn to_lanes(&self) -> [u32; 32] {
+        let mut lanes = self.planes;
+        transpose32(&mut lanes);
+        lanes
+    }
+
+    /// The 32 bit-planes; entry `b` holds bit `b` of every lane.
+    #[inline]
+    pub fn planes(&self) -> &[u32; 32] {
+        &self.planes
+    }
+
+    /// Mutable access for plane-wise transforms.
+    #[inline]
+    pub fn planes_mut(&mut self) -> &mut [u32; 32] {
+        &mut self.planes
+    }
+
+    /// Total 1-bits across all lanes (plane-wise popcount).
+    #[inline]
+    pub fn ones(&self) -> u64 {
+        self.ones_masked(u32::MAX)
+    }
+
+    /// Total 1-bits restricted to the lanes selected by `lane_mask` —
+    /// the active-mask filter of a divergent warp, applied per bit column
+    /// with one AND instead of a per-lane branch.
+    ///
+    /// Planes are consumed two per step as packed `u64`s with two
+    /// accumulators: halving the popcount chain and breaking the
+    /// accumulator dependency is ~3x faster than the obvious per-plane
+    /// fold on scalar popcount hardware.
+    #[inline]
+    pub fn ones_masked(&self, lane_mask: u32) -> u64 {
+        let m = (u64::from(lane_mask) << 32) | u64::from(lane_mask);
+        let (mut a, mut b) = (0u64, 0u64);
+        for q in self.planes.chunks_exact(4) {
+            let p0 = (u64::from(q[1]) << 32) | u64::from(q[0]);
+            let p1 = (u64::from(q[3]) << 32) | u64::from(q[2]);
+            a += u64::from((p0 & m).count_ones());
+            b += u64::from((p1 & m).count_ones());
+        }
+        a + b
+    }
+}
+
+/// Wire toggles between two consecutive warp-wide transfers, counted
+/// plane-wise: XOR matching planes and popcount. Equals the lane-space
+/// Hamming distance (transposing both operands permutes, never mixes, bits).
+#[inline]
+pub fn toggles_between(a: &BitPlanes, b: &BitPlanes) -> u64 {
+    a.planes
+        .iter()
+        .zip(&b.planes)
+        .map(|(&x, &y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lanes_from_seed(seed: u64) -> [u32; 32] {
+        let mut x = seed;
+        core::array::from_fn(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 32) as u32
+        })
+    }
+
+    #[test]
+    fn transpose_moves_single_bits() {
+        for r in 0..32 {
+            for c in [0usize, 1, 7, 21, 31] {
+                let mut m = [0u32; 32];
+                m[r] = 1 << c;
+                transpose32(&mut m);
+                for (b, &plane) in m.iter().enumerate() {
+                    let expect = if b == c { 1u32 << r } else { 0 };
+                    assert_eq!(plane, expect, "row {r} col {c} plane {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splat_bit_extremes() {
+        assert_eq!(splat_bit(0b100, 2), u32::MAX);
+        assert_eq!(splat_bit(0b100, 1), 0);
+        assert_eq!(splat_bit(u32::MAX, 31), u32::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(seed: u64) {
+            let lanes = lanes_from_seed(seed);
+            let p = BitPlanes::from_lanes(&lanes);
+            prop_assert_eq!(p.to_lanes(), lanes);
+        }
+
+        #[test]
+        fn planes_hold_bit_columns(seed: u64) {
+            let lanes = lanes_from_seed(seed);
+            let p = BitPlanes::from_lanes(&lanes);
+            for (b, &plane) in p.planes().iter().enumerate() {
+                for (l, &lane) in lanes.iter().enumerate() {
+                    prop_assert_eq!(plane >> l & 1, lane >> b & 1);
+                }
+            }
+        }
+
+        #[test]
+        fn ones_matches_lane_popcounts(seed: u64, mask: u32) {
+            let lanes = lanes_from_seed(seed);
+            let p = BitPlanes::from_lanes(&lanes);
+            let all: u64 = lanes.iter().map(|&l| u64::from(l.count_ones())).sum();
+            let active: u64 = lanes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &l)| u64::from(l.count_ones()))
+                .sum();
+            prop_assert_eq!(p.ones(), all);
+            prop_assert_eq!(p.ones_masked(mask), active);
+            prop_assert_eq!(p.ones_masked(u32::MAX), all);
+        }
+
+        #[test]
+        fn toggles_equal_lane_space_distance(a: u64, b: u64) {
+            let la = lanes_from_seed(a);
+            let lb = lanes_from_seed(b);
+            let expected: u64 = la
+                .iter()
+                .zip(&lb)
+                .map(|(&x, &y)| u64::from((x ^ y).count_ones()))
+                .sum();
+            let pa = BitPlanes::from_lanes(&la);
+            let pb = BitPlanes::from_lanes(&lb);
+            prop_assert_eq!(toggles_between(&pa, &pb), expected);
+        }
+    }
+}

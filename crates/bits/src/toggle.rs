@@ -131,6 +131,48 @@ impl ChannelToggles {
         self.primed = true;
     }
 
+    /// Transmit a whole line as consecutive flits in one batched pass —
+    /// bit-identical to calling [`ChannelToggles::send`] on every
+    /// `flit_bytes`-sized chunk of `data` (the final chunk may be short and
+    /// zero-pads, as usual), but without copying each intermediate flit into
+    /// the wire-state buffer: toggles between in-line neighbors are computed
+    /// directly on `data`, and only the final flit lands in `last`.
+    ///
+    /// Sending an empty line is a no-op (no flits).
+    pub fn send_line(&mut self, data: &[u8]) {
+        let fb = self.flit_bytes;
+        let mut prev: Option<&[u8]> = None;
+        for flit in data.chunks(fb) {
+            match prev {
+                None => {
+                    // First flit toggles against the stored wire state.
+                    if self.primed {
+                        self.stats.transfers += 1;
+                        self.stats.bit_toggles +=
+                            hamming::distance_bytes(&self.last[..flit.len()], flit)
+                                + hamming::weight_bytes(&self.last[flit.len()..]);
+                        self.stats.bit_slots += fb as u64 * 8;
+                    }
+                }
+                Some(p) => {
+                    // In-line neighbor: `p` is always full-width (only the
+                    // last chunk can be short), so the zero-padded tail of a
+                    // short `flit` contributes `p`'s tail weight.
+                    self.stats.transfers += 1;
+                    self.stats.bit_toggles += hamming::distance_bytes(&p[..flit.len()], flit)
+                        + hamming::weight_bytes(&p[flit.len()..]);
+                    self.stats.bit_slots += fb as u64 * 8;
+                }
+            }
+            prev = Some(flit);
+        }
+        if let Some(flit) = prev {
+            self.last[..flit.len()].copy_from_slice(flit);
+            self.last[flit.len()..].fill(0);
+            self.primed = true;
+        }
+    }
+
     /// Transmit one full-width flit whose every byte is `byte` (e.g. the
     /// all-ones idle pattern of a precharged bus) without building it.
     pub fn send_splat(&mut self, byte: u8) {
@@ -239,6 +281,27 @@ mod tests {
                 padded.send(&p);
             }
             prop_assert_eq!(short.stats(), padded.stats());
+        }
+
+        #[test]
+        fn send_line_matches_per_flit_sends(lines: Vec<Vec<u8>>, idle_every in 0usize..4) {
+            // Batched whole-line sends must be bit-identical to the scalar
+            // per-flit path, across partial tail flits and interleaved idle
+            // returns (the NoC packet sequence the collector produces).
+            let mut batched = ChannelToggles::new(8);
+            let mut scalar = ChannelToggles::new(8);
+            for (i, line) in lines.iter().enumerate() {
+                batched.send_line(line);
+                for flit in line.chunks(8) {
+                    scalar.send(flit);
+                }
+                if idle_every > 0 && i % idle_every == 0 {
+                    batched.send_splat(0xff);
+                    scalar.send_splat(0xff);
+                }
+                prop_assert_eq!(&batched, &scalar);
+            }
+            prop_assert_eq!(batched.stats(), scalar.stats());
         }
 
         #[test]

@@ -55,6 +55,28 @@ impl NvCoder {
             w ^ 0x7fff_ffff
         }
     }
+
+    /// Encode a whole warp at once in bit-plane form: every non-sign plane
+    /// is XNORed with the sign plane, and the sign plane passes through
+    /// verbatim — the per-bit-position statement of `eᵢ = bᵢ XNOR b₀`,
+    /// `e₀ = b₀`, applied to 32 lanes per word op.
+    ///
+    /// Bit-identical to [`Coder::encode_words`] on the lane form (the
+    /// transpose commutes with any per-bit-position gate network).
+    #[inline]
+    pub fn encode_planes(&self, planes: &mut bvf_bits::BitPlanes) {
+        let p = planes.planes_mut();
+        let sign = p[31];
+        for plane in &mut p[..31] {
+            *plane = !(*plane ^ sign);
+        }
+    }
+
+    /// Decode in bit-plane form (involution: same gates as encode).
+    #[inline]
+    pub fn decode_planes(&self, planes: &mut bvf_bits::BitPlanes) {
+        self.encode_planes(planes);
+    }
 }
 
 impl Coder for NvCoder {
@@ -138,6 +160,22 @@ mod tests {
         fn sign_bit_preserved(w: u32) {
             let e = NvCoder.encode_u32(w);
             prop_assert_eq!(e & 0x8000_0000, w & 0x8000_0000);
+        }
+
+        #[test]
+        fn plane_form_matches_lane_form(seed: u64) {
+            let mut x = seed;
+            let lanes: [u32; 32] = core::array::from_fn(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 32) as u32
+            });
+            let mut scalar = lanes;
+            NvCoder.encode_words(&mut scalar);
+            let mut planes = bvf_bits::BitPlanes::from_lanes(&lanes);
+            NvCoder.encode_planes(&mut planes);
+            prop_assert_eq!(planes.to_lanes(), scalar);
+            NvCoder.decode_planes(&mut planes);
+            prop_assert_eq!(planes.to_lanes(), lanes);
         }
 
         #[test]

@@ -109,6 +109,29 @@ impl VsCoder {
         self.decode_block(lanes);
     }
 
+    /// Encode a full warp in bit-plane form: in plane `b`, "XNOR every lane
+    /// with the pivot lane" becomes one XNOR against the splat of the pivot
+    /// lane's bit, with the pivot lane's own bit restored verbatim — 32
+    /// lanes per word op, per bit position.
+    ///
+    /// Bit-identical to [`VsCoder::encode_warp`] on the lane form.
+    #[inline]
+    pub fn encode_warp_planes(&self, planes: &mut bvf_bits::BitPlanes) {
+        let pivot = self.pivot as u32;
+        let pmask = 1u32 << pivot;
+        for plane in planes.planes_mut() {
+            let q = *plane;
+            let e = !(q ^ bvf_bits::splat_bit(q, pivot));
+            *plane = (e & !pmask) | (q & pmask);
+        }
+    }
+
+    /// Decode a full warp in bit-plane form (same gates as encode).
+    #[inline]
+    pub fn decode_warp_planes(&self, planes: &mut bvf_bits::BitPlanes) {
+        self.encode_warp_planes(planes);
+    }
+
     /// Encode a byte buffer in place as consecutive little-endian 32-bit
     /// words with the pivot at word index [`VsCoder::pivot`] (cache-line
     /// view of §4.2.2-A).
@@ -320,6 +343,23 @@ mod tests {
             prop_assert_eq!(lanes[pivot], original[pivot]);
             vs.decode_warp(&mut lanes);
             prop_assert_eq!(lanes, original);
+        }
+
+        #[test]
+        fn plane_form_matches_lane_form(seed: u64, pivot in 0usize..WARP_LANES) {
+            let mut x = seed;
+            let lanes: [u32; WARP_LANES] = core::array::from_fn(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 32) as u32
+            });
+            let vs = VsCoder::with_pivot(pivot);
+            let mut scalar = lanes;
+            vs.encode_warp(&mut scalar);
+            let mut planes = bvf_bits::BitPlanes::from_lanes(&lanes);
+            vs.encode_warp_planes(&mut planes);
+            prop_assert_eq!(planes.to_lanes(), scalar);
+            vs.decode_warp_planes(&mut planes);
+            prop_assert_eq!(planes.to_lanes(), lanes);
         }
 
         #[test]

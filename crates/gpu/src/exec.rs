@@ -253,15 +253,27 @@ impl Warp {
     ///
     /// Panics if `r` is out of the kernel's register range.
     pub fn reg_lanes(&self, r: u8) -> [u32; 32] {
+        *self.reg_lanes_ref(r)
+    }
+
+    /// Borrowed view of register `r`'s 32 lanes (no copy — the register
+    /// file is lane-major, so a register is one contiguous slice).
+    fn reg_lanes_ref(&self, r: u8) -> &[u32; 32] {
         let base = usize::from(r) * 32;
-        core::array::from_fn(|lane| self.regs[base + lane])
+        (&self.regs[base..base + 32])
+            .try_into()
+            .expect("register slice is 32 lanes")
     }
 
     fn set_reg_lanes(&mut self, r: u8, values: &[u32; 32], mask: u32) {
         let base = usize::from(r) * 32;
-        for (lane, &v) in values.iter().enumerate() {
-            if mask >> lane & 1 == 1 {
-                self.regs[base + lane] = v;
+        if mask == u32::MAX {
+            self.regs[base..base + 32].copy_from_slice(values);
+        } else {
+            for (lane, &v) in values.iter().enumerate() {
+                if mask >> lane & 1 == 1 {
+                    self.regs[base + lane] = v;
+                }
             }
         }
     }
@@ -285,14 +297,20 @@ impl Warp {
     }
 
     fn operand_lanes(&self, operand: Operand) -> [u32; 32] {
-        core::array::from_fn(|lane| self.lane_value(operand, lane))
+        // Dispatch on the operand kind once per warp, not once per lane.
+        match operand {
+            Operand::Reg(r) => self.reg_lanes(r),
+            Operand::Imm(v) => [v; 32],
+            Operand::Special(_) => core::array::from_fn(|lane| self.lane_value(operand, lane)),
+        }
     }
 
     fn eval_cond(&self, c: &Cond) -> u32 {
+        let av = self.operand_lanes(c.a);
+        let bv = self.operand_lanes(c.b);
         let mut mask = 0u32;
         for lane in 0..32 {
-            let a = self.lane_value(c.a, lane) as i32;
-            let b = self.lane_value(c.b, lane) as i32;
+            let (a, b) = (av[lane] as i32, bv[lane] as i32);
             let t = match c.op {
                 CmpOp::Eq => a == b,
                 CmpOp::Ne => a != b,
@@ -308,24 +326,35 @@ impl Warp {
 
     /// Report each distinct register operand of `i` as a read event.
     fn report_operand_reads(&self, i: &Instr, env: &mut impl WarpEnv) {
-        let mut seen: Vec<u8> = Vec::with_capacity(3);
+        // At most three operands — a fixed array keeps this allocation-free
+        // (it runs once per executed instruction).
+        let mut seen = [0u8; 3];
+        let mut n = 0;
         for operand in [i.a, i.b, i.c] {
             if let Operand::Reg(r) = operand {
-                if !seen.contains(&r) {
-                    seen.push(r);
+                if !seen[..n].contains(&r) {
+                    seen[n] = r;
+                    n += 1;
                 }
             }
         }
-        env.on_operand_group(&seen);
-        for &r in &seen {
-            env.on_reg_read(&self.reg_lanes(r), self.active);
+        let seen = &seen[..n];
+        env.on_operand_group(seen);
+        for &r in seen {
+            env.on_reg_read(self.reg_lanes_ref(r), self.active);
         }
     }
 
     fn write_dst(&mut self, dst: u8, values: &[u32; 32], env: &mut impl WarpEnv) {
         self.set_reg_lanes(dst, values, self.active);
         let pivot_divergent = self.active != u32::MAX && (self.active >> PIVOT_LANE) & 1 == 1;
-        env.on_reg_write(&self.reg_lanes(dst), self.active, pivot_divergent);
+        // A full-warp write leaves the register equal to `values`; only a
+        // divergent write needs the merged (old ∪ new) lanes read back.
+        if self.active == u32::MAX {
+            env.on_reg_write(values, u32::MAX, pivot_divergent);
+        } else {
+            env.on_reg_write(self.reg_lanes_ref(dst), self.active, pivot_divergent);
+        }
     }
 
     /// Execute one op. Fetches the instruction word, then interprets.
@@ -465,7 +494,7 @@ impl Warp {
         let a = self.operand_lanes(i.a);
         let b = self.operand_lanes(i.b);
         let c = self.operand_lanes(i.c);
-        let out: [u32; 32] = core::array::from_fn(|l| alu(i.op, a[l], b[l], c[l]));
+        let out = alu_warp(i.op, &a, &b, &c);
         self.write_dst(i.dst, &out, env);
         StepResult::Ok
     }
@@ -504,6 +533,26 @@ fn alu(op: Op, a: u32, b: u32, c: u32) -> u32 {
         Op::I2F => (a as i32 as f32).to_bits(),
         Op::F2I => (f32::from_bits(a) as i32) as u32,
         _ => unreachable!("memory/barrier ops handled by the caller"),
+    }
+}
+
+/// Warp-wide ALU: dispatch on the op once, then run a flat 32-lane loop —
+/// the integer arms auto-vectorize, and no lane pays the 20-arm match.
+/// Bit-identical to mapping [`alu`] over the lanes.
+fn alu_warp(op: Op, a: &[u32; 32], b: &[u32; 32], c: &[u32; 32]) -> [u32; 32] {
+    use core::array::from_fn;
+    match op {
+        Op::Mov => *a,
+        Op::IAdd => from_fn(|l| a[l].wrapping_add(b[l])),
+        Op::ISub => from_fn(|l| a[l].wrapping_sub(b[l])),
+        Op::IMul => from_fn(|l| a[l].wrapping_mul(b[l])),
+        Op::IMad => from_fn(|l| a[l].wrapping_mul(b[l]).wrapping_add(c[l])),
+        Op::And => from_fn(|l| a[l] & b[l]),
+        Op::Or => from_fn(|l| a[l] | b[l]),
+        Op::Xor => from_fn(|l| a[l] ^ b[l]),
+        Op::Shl => from_fn(|l| a[l] << (b[l] & 31)),
+        Op::Shr => from_fn(|l| a[l] >> (b[l] & 31)),
+        _ => from_fn(|l| alu(op, a[l], b[l], c[l])),
     }
 }
 

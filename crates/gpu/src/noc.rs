@@ -6,11 +6,41 @@
 //! wires toggle between consecutive flits; the per-view toggle accounting
 //! itself lives in [`crate::stats::StatsCollector`], this module assigns
 //! stable channel ids and packet layouts.
+//!
+//! # Channel / flit model
+//!
+//! Every channel is two physical sub-channels:
+//!
+//! * **Sideband (control) wires**, [`HEADER_BYTES`] wide. The raw header
+//!   travels here in one flit per packet and is never coded — addresses
+//!   and ids must stay machine-readable at the router.
+//! * **Data wires**, `flit_bytes` wide. The payload is chunked into
+//!   `ceil(payload / flit_bytes)` flits (the tail flit zero-pads), each
+//!   coded per view; after the last payload flit the data wires return to
+//!   the precharged all-ones idle state.
+//!
+//! [`flits_for`] counts the *occupied* flits of a packet under this model:
+//! one sideband header flit plus the payload flits. (The idle return is a
+//! wire transition, not an occupied flit, so it counts toward toggle energy
+//! but not link utilization.) Within the collector the sideband channel is
+//! keyed as `channel | SIDEBAND`, so its toggle history never mixes with
+//! the data wires'.
 
 use serde::{Deserialize, Serialize};
 
 /// Bytes of header prepended to every NoC packet (command + address + ids).
 pub const HEADER_BYTES: usize = 16;
+
+/// Channel-id bit marking the sideband (header) sub-channel of a data
+/// channel. Kept out of [`ENDPOINT_BITS`] so it can never collide with an
+/// endpoint id or the [`REPLY_TAG`] direction bit.
+pub const SIDEBAND: u32 = 1 << 30;
+
+/// Channel-id bit distinguishing reply channels from request channels.
+pub const REPLY_TAG: u32 = 1 << 28;
+
+/// Endpoint ids (SM or L2-bank index) must fit below the direction tag.
+pub const ENDPOINT_BITS: u32 = 28;
 
 /// Direction of travel through the crossbar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -24,24 +54,52 @@ pub enum Direction {
 /// Stable channel id for an endpoint pair. Requests are serialized on the
 /// source SM's injection port; replies on the L2 bank's ejection port —
 /// matching a crossbar where each port is a private set of wires.
+///
+/// Ids are disjoint by construction as tagged bit-fields: bits
+/// `0..ENDPOINT_BITS` carry the endpoint index, bit 28 ([`REPLY_TAG`]) the
+/// direction, and bit 30 ([`SIDEBAND`]) is reserved for the collector's
+/// header sub-channels — so no request, reply, or sideband id can alias
+/// another regardless of SM/bank counts.
+///
+/// # Panics
+///
+/// Panics if the endpoint index does not fit in [`ENDPOINT_BITS`] bits.
 pub fn channel_id(sm: u32, l2_bank: u32, dir: Direction) -> u32 {
-    match dir {
-        Direction::Request => sm,
-        Direction::Reply => 1_000 + l2_bank,
-    }
+    let (endpoint, tag) = match dir {
+        Direction::Request => (sm, 0),
+        Direction::Reply => (l2_bank, REPLY_TAG),
+    };
+    assert!(
+        endpoint < (1 << ENDPOINT_BITS),
+        "endpoint id {endpoint} exceeds {ENDPOINT_BITS}-bit channel field"
+    );
+    endpoint | tag
 }
 
 /// Build a request/reply header. The layout is fixed and deterministic so
-/// header toggles are realistic: command byte, SM id, bank id, 8-byte
-/// address, warp id, padding.
+/// header toggles are realistic: command byte, SM/bank/warp id low bytes,
+/// 8-byte address, then the id high bytes (ids are 16-bit fields split so
+/// the common small-id case keeps its byte positions).
+///
+/// # Panics
+///
+/// Panics if an id exceeds 16 bits — a wider id would silently alias
+/// another endpoint in the header and corrupt toggle accounting.
 pub fn header(cmd: u8, sm: u32, bank: u32, addr: u64, warp: u32) -> [u8; HEADER_BYTES] {
+    assert!(
+        sm <= 0xffff && bank <= 0xffff && warp <= 0xffff,
+        "header id out of 16-bit range (sm {sm}, bank {bank}, warp {warp})"
+    );
     let mut h = [0u8; HEADER_BYTES];
     h[0] = cmd;
     h[1] = sm as u8;
     h[2] = bank as u8;
     h[3] = warp as u8;
     h[4..12].copy_from_slice(&addr.to_le_bytes());
-    // bytes 12..16 reserved (zero)
+    h[12] = (sm >> 8) as u8;
+    h[13] = (bank >> 8) as u8;
+    h[14] = (warp >> 8) as u8;
+    // byte 15 reserved (zero)
     h
 }
 
@@ -59,14 +117,18 @@ pub mod cmd {
     pub const IFETCH_REPLY: u8 = 0x83;
 }
 
-/// Number of flits a packet of `header + payload` occupies at `flit_bytes`.
+/// Occupied flits of one packet: the sideband header flit plus
+/// `ceil(payload / flit_bytes)` data flits — exactly the flits the
+/// collector's toggle model transmits (the idle-return transition after the
+/// payload is not an occupied flit).
 pub fn flits_for(payload_bytes: usize, flit_bytes: usize) -> usize {
-    (HEADER_BYTES + payload_bytes).div_ceil(flit_bytes)
+    1 + payload_bytes.div_ceil(flit_bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn channels_are_stable_and_disjoint() {
@@ -86,6 +148,26 @@ mod tests {
     }
 
     #[test]
+    fn large_sm_ids_do_not_alias_reply_channels() {
+        // The pre-tagged scheme (`1000 + bank`) aliased SM 1000's request
+        // channel with bank 0's reply channel; tagged bit-fields cannot.
+        assert_ne!(
+            channel_id(1000, 0, Direction::Request),
+            channel_id(0, 0, Direction::Reply)
+        );
+        assert_ne!(
+            channel_id(1001, 0, Direction::Request),
+            channel_id(0, 1, Direction::Reply)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 28-bit channel field")]
+    fn oversized_endpoint_rejected() {
+        let _ = channel_id(1 << ENDPOINT_BITS, 0, Direction::Request);
+    }
+
+    #[test]
     fn header_roundtrips_address() {
         let h = header(cmd::READ_REQ, 7, 2, 0xdead_beef_cafe, 11);
         assert_eq!(h[0], cmd::READ_REQ);
@@ -96,10 +178,74 @@ mod tests {
     }
 
     #[test]
+    fn header_keeps_wide_ids_distinct() {
+        // Regression: ids ≥ 256 used to truncate to `as u8`, so SM 1 and
+        // SM 257 produced byte-identical headers.
+        let a = header(cmd::READ_REQ, 1, 0, 0x1000, 0);
+        let b = header(cmd::READ_REQ, 257, 0, 0x1000, 0);
+        assert_ne!(a, b);
+        let roundtrip =
+            |h: &[u8; HEADER_BYTES], lo: usize, hi: usize| u32::from(h[lo]) | u32::from(h[hi]) << 8;
+        let h = header(cmd::WRITE_REQ, 300, 515, 0xabcd, 999);
+        assert_eq!(roundtrip(&h, 1, 12), 300);
+        assert_eq!(roundtrip(&h, 2, 13), 515);
+        assert_eq!(roundtrip(&h, 3, 14), 999);
+    }
+
+    #[test]
+    fn header_layout_unchanged_for_small_ids() {
+        // Ids < 256 must keep the original byte placement (high bytes all
+        // zero) so existing toggle statistics are unaffected.
+        let h = header(cmd::READ_REPLY, 5, 3, 0x42, 7);
+        assert_eq!(&h[12..16], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 16-bit range")]
+    fn oversized_header_id_rejected() {
+        let _ = header(cmd::READ_REQ, 0x1_0000, 0, 0, 0);
+    }
+
+    #[test]
     fn flit_counts() {
-        // 16B header + 128B line at 32B flits = 144/32 → 5 flits.
+        // Header flit + 128B line at 32B flits = 1 + 4 → 5 flits.
         assert_eq!(flits_for(128, 32), 5);
-        // header-only request = 1 flit.
+        // header-only request = 1 sideband flit.
         assert_eq!(flits_for(0, 32), 1);
+    }
+
+    proptest! {
+        /// Tagged bit-fields make every (endpoint, direction) channel id
+        /// unique, and none can collide with a sideband id.
+        #[test]
+        fn channel_ids_disjoint_by_construction(
+            sm in 0u32..(1 << ENDPOINT_BITS),
+            bank in 0u32..(1 << ENDPOINT_BITS),
+        ) {
+            let req = channel_id(sm, bank, Direction::Request);
+            let rep = channel_id(sm, bank, Direction::Reply);
+            prop_assert_ne!(req, rep);
+            // Direction is recoverable from the tag alone.
+            prop_assert_eq!(req & REPLY_TAG, 0);
+            prop_assert_eq!(rep & REPLY_TAG, REPLY_TAG);
+            // Neither uses the sideband bit, so header sub-channels
+            // (`id | SIDEBAND`) can never alias a data channel.
+            prop_assert_eq!(req & SIDEBAND, 0);
+            prop_assert_eq!(rep & SIDEBAND, 0);
+        }
+
+        /// The header embeds (cmd, sm, bank, warp, addr) injectively for
+        /// all in-range ids.
+        #[test]
+        fn header_is_injective(
+            sm in 0u32..=0xffff, bank in 0u32..=0xffff,
+            warp in 0u32..=0xffff, addr: u64,
+        ) {
+            let h = header(cmd::READ_REQ, sm, bank, addr, warp);
+            prop_assert_eq!(u32::from(h[1]) | u32::from(h[12]) << 8, sm);
+            prop_assert_eq!(u32::from(h[2]) | u32::from(h[13]) << 8, bank);
+            prop_assert_eq!(u32::from(h[3]) | u32::from(h[14]) << 8, warp);
+            prop_assert_eq!(u64::from_le_bytes(h[4..12].try_into().unwrap()), addr);
+        }
     }
 }

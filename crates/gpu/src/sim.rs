@@ -143,6 +143,10 @@ struct SharedState {
     reg_write_counter: u64,
     /// Distinct lines touched per unit, indexed by `unit as usize`.
     touched: [LineSet; 9],
+    /// Last line touched per unit — access streams hit the same line many
+    /// times in a row (16 sequential fetches per I-line), and skipping the
+    /// repeated hash insert is measurable. `u64::MAX` = none yet.
+    last_touched: [u64; 9],
     smem_conflict_cycles: u64,
     /// Scratch for one cache line image, reused across every memory event.
     line_buf: Vec<u8>,
@@ -156,7 +160,11 @@ struct SharedState {
 impl SharedState {
     #[inline]
     fn touch(&mut self, unit: Unit, line: u64) {
-        self.touched[unit as usize].insert(line);
+        let u = unit as usize;
+        if self.last_touched[u] != line {
+            self.last_touched[u] = line;
+            self.touched[u].insert(line);
+        }
     }
 
     // Collector calls routed through the metrics recorder. Word-granular
@@ -169,6 +177,12 @@ impl SharedState {
     fn record_instruction(&mut self, unit: Unit, kind: AccessKind, word: u64) {
         self.rec.add(self.m.instr_events, 1);
         self.collector.record_instruction(unit, kind, word);
+    }
+
+    #[inline]
+    fn record_instruction_units(&mut self, units: &[Unit], kind: AccessKind, word: u64) {
+        self.rec.add(self.m.instr_events, units.len() as u64);
+        self.collector.record_instruction_units(units, kind, word);
     }
 
     #[inline]
@@ -185,6 +199,14 @@ impl SharedState {
         self.collector.record_line(unit, kind, line);
         self.rec.end(span);
         self.rec.add(self.m.line_events, 1);
+    }
+
+    #[inline]
+    fn record_line_kinds(&mut self, unit: Unit, kinds: &[AccessKind], line: &[u8]) {
+        let span = self.rec.begin(self.m.stats_data);
+        self.collector.record_line_kinds(unit, kinds, line);
+        self.rec.end(span);
+        self.rec.add(self.m.line_events, kinds.len() as u64);
     }
 
     #[inline]
@@ -295,8 +317,11 @@ impl SmEnv<'_> {
                     false,
                 );
                 // Fill, then serve the read from L1.
-                self.shared.record_line(l1_unit, AccessKind::Fill, &line);
-                self.shared.record_line(l1_unit, AccessKind::Read, &line);
+                self.shared.record_line_kinds(
+                    l1_unit,
+                    &[AccessKind::Fill, AccessKind::Read],
+                    &line,
+                );
             }
         }
         self.shared.line_buf = line;
@@ -316,8 +341,11 @@ impl SmEnv<'_> {
                         is_write: false,
                     },
                 );
-                self.shared.record_line(Unit::L2, AccessKind::Fill, line);
-                self.shared.record_line(Unit::L2, AccessKind::Read, line);
+                self.shared.record_line_kinds(
+                    Unit::L2,
+                    &[AccessKind::Fill, AccessKind::Read],
+                    line,
+                );
             }
         }
     }
@@ -383,17 +411,17 @@ impl WarpEnv for SmEnv<'_> {
         // Operand collector: two operands mapping to the same register bank
         // serialize; each extra same-bank operand costs one cycle.
         let banks = self.sm.reg_banks.max(1);
-        // Register ids are u8, so `r % banks` never exceeds 255 — a fixed
-        // stack array covers any bank count without allocating.
-        let mut count = [0u8; 256];
-        for &r in regs {
-            count[(u32::from(r) % banks) as usize] += 1;
+        // An instruction reads at most a handful of distinct registers, so a
+        // pairwise scan beats zeroing a per-bank histogram: each operand whose
+        // bank already appeared earlier in the group is one extra cycle, which
+        // sums to the same max(count-1, 0) per bank.
+        let mut extra = 0u64;
+        for (i, &r) in regs.iter().enumerate() {
+            let b = u32::from(r) % banks;
+            if regs[..i].iter().any(|&p| u32::from(p) % banks == b) {
+                extra += 1;
+            }
         }
-        let used = (banks as usize).min(count.len());
-        let extra: u64 = count[..used]
-            .iter()
-            .map(|&c| u64::from(c.saturating_sub(1)))
-            .sum();
         self.sm.reg_bank_conflicts += extra;
     }
 
@@ -437,17 +465,21 @@ impl WarpEnv for SmEnv<'_> {
 
     fn on_ifetch(&mut self, pc: usize, word: u64) {
         let span = self.shared.rec.begin(self.shared.m.ifetch);
-        // Instruction fetch buffer sees every issue.
-        self.shared
-            .record_instruction(Unit::Ifb, AccessKind::Read, word);
         let addr = INSTR_BASE + pc as u64 * 8;
         self.shared.touch(Unit::L1i, addr & !127);
         match self.sm.l1i.access_allocate(addr) {
             Access::Hit => {
-                self.shared
-                    .record_instruction(Unit::L1i, AccessKind::Read, word);
+                // Instruction fetch buffer sees every issue, then the L1I
+                // serves the same word — one encode, two units.
+                self.shared.record_instruction_units(
+                    &[Unit::Ifb, Unit::L1i],
+                    AccessKind::Read,
+                    word,
+                );
             }
             Access::Miss { .. } => {
+                self.shared
+                    .record_instruction(Unit::Ifb, AccessKind::Read, word);
                 // Fetch the whole 128B (16-instruction) line from L2.
                 let bank = self.l2_bank_of(addr & !127);
                 let req = header(cmd::IFETCH_REQ, self.sm.id, bank, addr, self.warp_id);
@@ -715,6 +747,7 @@ impl Gpu {
             lane_samples: 0,
             reg_write_counter: 0,
             touched: Default::default(),
+            last_touched: [u64::MAX; 9],
             smem_conflict_cycles: 0,
             line_buf: Vec::new(),
             instr_buf: Vec::new(),

@@ -7,11 +7,32 @@
 //! therefore yields the baseline and every coder combination the figures
 //! need, with bit-exact agreement to the offline method (the coders are
 //! pure functions of payload data).
+//!
+//! # Bit-sliced hot path
+//!
+//! The record methods are columnar, not scalar:
+//!
+//! * Warp-width events ([`StatsCollector::record_register`],
+//!   [`StatsCollector::record_shared`]) transpose the 32 lane words into
+//!   [`BitPlanes`] **once per event** and share the transpose across all
+//!   views; each view then applies its coders *per bit position*
+//!   (`NvCoder::encode_planes`, `VsCoder::encode_warp_planes`) and counts
+//!   active-lane ones with one AND + popcount per plane — no per-lane
+//!   branches, no per-view lane copies.
+//! * Line-granular events ([`StatsCollector::record_line`],
+//!   [`StatsCollector::record_noc_packet`]) batch over the whole line: NV
+//!   runs as a branch-free SWAR flip two words at a time, VS as one XOR
+//!   against the inverted pivot, and NoC flits toggle through
+//!   [`ChannelToggles::send_line`] in one pass instead of per-flit sends.
+//!
+//! Both paths are gated bit-identical to the scalar coders by the replay
+//! oracle ([`crate::trace::replay`]) and the reference-implementation
+//! proptests below.
 
 use std::collections::BTreeMap;
 
-use bvf_bits::{BitCounts, ChannelToggles, ToggleStats};
-use bvf_core::{Coder, IsaCoder, NvCoder, Unit, VsCoder};
+use bvf_bits::{BitCounts, BitPlanes, ChannelToggles, ToggleStats};
+use bvf_core::{IsaCoder, NvCoder, Unit, VsCoder};
 use serde::{Deserialize, Serialize};
 
 /// A named coder configuration applied to trace payloads.
@@ -86,6 +107,24 @@ impl CodingView {
     }
 }
 
+/// Branch-free NV transform of one word: halves with sign bit 0 flip their
+/// low 31 bits. Bit-identical to `NvCoder::encode_u32`, without the
+/// data-dependent branch.
+#[inline]
+fn nv_u32(w: u32) -> u32 {
+    w ^ ((w >> 31) ^ 1).wrapping_mul(0x7fff_ffff)
+}
+
+/// Branch-free NV transform of two lanes packed in a `u64` — the SWAR form
+/// the line paths use to encode whole lines two words per step.
+#[inline]
+fn nv_swar64(w: u64) -> u64 {
+    const SIGNS: u64 = 0x8000_0000_8000_0000;
+    const LOW: u64 = 0x0000_0001_0000_0001;
+    let flip = (((w & SIGNS) >> 31) ^ LOW).wrapping_mul(0x7fff_ffff);
+    w ^ flip
+}
+
 /// Pre-resolved coders for one view — hoisted out of the per-event loops so
 /// the hot path never re-dispatches on the view flags or rebuilds a coder
 /// per word.
@@ -121,51 +160,138 @@ impl ViewCoders {
         }
     }
 
+    /// Bit counts of the active lanes of a register access, computed in
+    /// bit-plane space: the shared transpose is copied once per coding
+    /// view, encoded per bit position, and counted with one AND + popcount
+    /// per plane. Bit-identical to encoding the lane form with
+    /// [`NvCoder`]/[`VsCoder`] and counting active lanes scalar-wise.
+    fn warp_bits(&self, planes: &BitPlanes, active: u32) -> BitCounts {
+        let ones = if !self.nv && self.reg_vs.is_none() {
+            planes.ones_masked(active)
+        } else {
+            // Copy-and-encode beats a fused transform-while-counting loop
+            // here: the plane kernels and the masked popcount each
+            // auto-vectorize cleanly over the 32-word array.
+            let mut e = *planes;
+            if self.nv {
+                NvCoder.encode_planes(&mut e);
+            }
+            if let Some(vs) = self.reg_vs {
+                vs.encode_warp_planes(&mut e);
+            }
+            e.ones_masked(active)
+        };
+        let total = u64::from(active.count_ones()) * 32;
+        BitCounts {
+            ones,
+            zeros: total - ones,
+        }
+    }
+
+    /// Bit counts of the active lanes of a shared-memory access (VS does
+    /// not cover SME, so only NV applies — plane-wise).
+    fn shared_bits(&self, planes: &BitPlanes, active: u32) -> BitCounts {
+        let ones = if self.nv {
+            let mut e = *planes;
+            NvCoder.encode_planes(&mut e);
+            e.ones_masked(active)
+        } else {
+            planes.ones_masked(active)
+        };
+        let total = u64::from(active.count_ones()) * 32;
+        BitCounts {
+            ones,
+            zeros: total - ones,
+        }
+    }
+
+    /// NV-encoded pivot word of a line, when VS applies and the line
+    /// actually contains the pivot element (VS pivots on the NV-encoded
+    /// word — NV runs first).
+    fn line_pivot_enc(&self, line: &[u8], n_words: usize) -> Option<u32> {
+        let p = self.line_vs.map(|v| v.pivot()).filter(|&p| p < n_words)?;
+        let w = u32::from_le_bytes(line[p * 4..p * 4 + 4].try_into().expect("pivot word"));
+        Some(if self.nv { nv_u32(w) } else { w })
+    }
+
     /// Encode a data-line payload in place (NV then VS, exactly as the
-    /// paper's parser applies them). Non-word-aligned payloads pass through.
+    /// paper's parser applies them), batched over the whole line: NV as a
+    /// SWAR flip two words per step, VS as one XOR with the inverted pivot
+    /// (`!(w ^ p)` = `w ^ !p`), the pivot word restored verbatim after.
+    /// Non-word-aligned payloads pass through.
     fn encode_data_line(&self, data: &mut [u8]) {
         if !data.len().is_multiple_of(4) {
             return; // headers-only payloads are not coded
         }
-        if self.nv {
-            NvCoder.encode_bytes(data);
+        let pivot_enc = self.line_pivot_enc(data, data.len() / 4);
+        let ip64 = pivot_enc.map(|p| !((u64::from(p) << 32) | u64::from(p)));
+        let mut chunks = data.chunks_exact_mut(8);
+        for c in &mut chunks {
+            let mut w = u64::from_le_bytes((&*c).try_into().expect("chunk of 8"));
+            if self.nv {
+                w = nv_swar64(w);
+            }
+            if let Some(ip) = ip64 {
+                w ^= ip;
+            }
+            c.copy_from_slice(&w.to_le_bytes());
         }
-        if let Some(vs) = self.line_vs {
-            vs.encode_line_bytes(data);
+        let rem = chunks.into_remainder();
+        if rem.len() == 4 {
+            let mut w = u32::from_le_bytes((&*rem).try_into().expect("chunk of 4"));
+            if self.nv {
+                w = nv_u32(w);
+            }
+            if let Some(p) = pivot_enc {
+                w = !(w ^ p);
+            }
+            rem.copy_from_slice(&w.to_le_bytes());
+        }
+        if let (Some(vs), Some(pe)) = (self.line_vs, pivot_enc) {
+            let p = vs.pivot();
+            if p * 4 < data.len() {
+                data[p * 4..p * 4 + 4].copy_from_slice(&pe.to_le_bytes());
+            }
         }
     }
 
-    /// Bit counts of a data line under this view, in one pass and without
-    /// materializing the encoded bytes — bit-identical to
+    /// Bit counts of a data line under this view, in one batched pass and
+    /// without materializing the encoded bytes — bit-identical to
     /// [`ViewCoders::encode_data_line`] followed by [`BitCounts::of_bytes`].
+    /// The pivot word is XNORed with itself like every other word (yielding
+    /// all-ones) and its contribution corrected once at the end.
     fn data_line_bits(&self, line: &[u8]) -> BitCounts {
         if !self.codes_data() || !line.len().is_multiple_of(4) {
             return BitCounts::of_bytes(line);
         }
-        let n_words = line.len() / 4;
-        // VS pivots on the NV-encoded pivot word (NV runs first), and only
-        // when the line actually contains the pivot element.
-        let pivot = self.line_vs.map(|v| v.pivot()).filter(|&p| p < n_words);
-        let pivot_enc = pivot.map(|p| {
-            let w = u32::from_le_bytes(line[p * 4..p * 4 + 4].try_into().expect("pivot word"));
-            if self.nv {
-                NvCoder.encode_u32(w)
-            } else {
-                w
-            }
-        });
+        let pivot_enc = self.line_pivot_enc(line, line.len() / 4);
+        let ip64 = pivot_enc.map(|p| !((u64::from(p) << 32) | u64::from(p)));
         let mut ones = 0u64;
-        for (i, c) in line.chunks_exact(4).enumerate() {
-            let mut w = u32::from_le_bytes(c.try_into().expect("chunk of 4"));
+        let mut chunks = line.chunks_exact(8);
+        for c in &mut chunks {
+            let mut w = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
             if self.nv {
-                w = NvCoder.encode_u32(w);
+                w = nv_swar64(w);
             }
-            if let Some(p) = pivot_enc {
-                if pivot != Some(i) {
-                    w = !(w ^ p);
-                }
+            if let Some(ip) = ip64 {
+                w ^= ip;
             }
             ones += u64::from(w.count_ones());
+        }
+        if let Ok(c) = <[u8; 4]>::try_from(chunks.remainder()) {
+            let mut w = u32::from_le_bytes(c);
+            if self.nv {
+                w = nv_u32(w);
+            }
+            if let Some(p) = pivot_enc {
+                w = !(w ^ p);
+            }
+            ones += u64::from(w.count_ones());
+        }
+        if let Some(p) = pivot_enc {
+            // The pivot element is stored verbatim (NV-encoded), not
+            // self-XNORed to all-ones as the bulk pass counted it.
+            ones = ones - 32 + u64::from(p.count_ones());
         }
         BitCounts {
             ones,
@@ -205,7 +331,16 @@ impl UnitStats {
 }
 
 /// Statistics for one coding view across every unit plus the NoC.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// This is pure result data: the per-channel toggle scratch lives in the
+/// [`StatsCollector`] that produced it, so a `ViewStats` restored from the
+/// result store is read-only **by construction** — there is no collection
+/// state here to leave half-initialized, and no way to record into a
+/// restored view without going through a live collector (whose channel
+/// state is always fully constructed). This replaces the previous typed
+/// hazard where a restored view carried a zero flit size and panicked on
+/// its first NoC packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ViewStats {
     /// The view these statistics belong to.
     pub view: CodingView,
@@ -215,41 +350,22 @@ pub struct ViewStats {
     pub noc: ToggleStats,
     /// Dummy `mov` re-encodes injected for branch divergence (VS only).
     pub dummy_movs: u64,
-    #[serde(skip)]
-    channels: BTreeMap<u32, ChannelToggles>,
-    #[serde(skip)]
-    flit_bytes: usize,
-}
-
-/// Equality covers the finished statistics only — the per-channel toggle
-/// scratch and the flit size are collection state, already folded into
-/// `noc` by the time a summary is produced. This is what lets a summary
-/// restored from the result store (whose scratch is empty) compare
-/// bit-identical to a freshly simulated one.
-impl PartialEq for ViewStats {
-    fn eq(&self, other: &Self) -> bool {
-        self.view == other.view
-            && self.units == other.units
-            && self.noc == other.noc
-            && self.dummy_movs == other.dummy_movs
-    }
 }
 
 impl ViewStats {
-    fn new(view: CodingView, flit_bytes: usize) -> Self {
+    fn new(view: CodingView) -> Self {
         Self {
             view,
             units: BTreeMap::new(),
             noc: ToggleStats::default(),
             dummy_movs: 0,
-            channels: BTreeMap::new(),
-            flit_bytes,
         }
     }
 
     /// Rebuild a view's statistics from stored counters (the result-store
-    /// decode path). The collection-only fields — per-channel toggle state
-    /// and the flit size — are left empty: a restored view is read-only.
+    /// decode path). Total by construction: every field is plain result
+    /// data, so a restored summary compares bit-identical to a freshly
+    /// simulated one and cannot be recorded into.
     pub(crate) fn from_stored(
         view: CodingView,
         units: BTreeMap<Unit, UnitStats>,
@@ -261,22 +377,12 @@ impl ViewStats {
             units,
             noc,
             dummy_movs,
-            channels: BTreeMap::new(),
-            flit_bytes: 0,
         }
     }
 
     /// Counters for a unit (zeroed if never touched).
     pub fn unit(&self, unit: Unit) -> UnitStats {
         self.units.get(&unit).copied().unwrap_or_default()
-    }
-
-    fn unit_mut(&mut self, unit: Unit) -> &mut UnitStats {
-        self.units.entry(unit).or_default()
-    }
-
-    fn finish_noc(&mut self) {
-        self.noc = self.channels.values().map(|c| c.stats()).sum();
     }
 }
 
@@ -296,28 +402,119 @@ pub enum AccessKind {
 /// The simulator reports *raw* payloads; the collector encodes them per
 /// view and updates each view's counters. The record methods are the
 /// simulator's hot path and perform no heap allocation: per-view coders are
-/// resolved once at construction ([`ViewCoders`]) and payload encoding
-/// reuses one scratch buffer across events.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// resolved once at construction ([`ViewCoders`]), warp events share one
+/// bit-plane transpose across views, and payload encoding reuses one
+/// scratch buffer across events.
+///
+/// Collection-only state (per-channel toggle history, the flit width, the
+/// coder cache, scratch) lives here rather than in [`ViewStats`], so
+/// results restored from the store are plain read-only data.
+#[derive(Debug, Clone)]
 pub struct StatsCollector {
     views: Vec<ViewStats>,
     log: Option<crate::trace::TraceLog>,
-    /// Per-view pre-resolved coders, index-aligned with `views`. Derived
-    /// state — rebuilt on demand after deserialization (see
-    /// [`StatsCollector::sync_coders`]).
-    #[serde(skip)]
+    /// Per-view pre-resolved coders, index-aligned with `views`.
     coders: Vec<ViewCoders>,
+    /// NoC data-wire flit width shared by every data channel.
+    flit_bytes: usize,
+    /// Per-channel toggle scratch for the data wires; each entry holds one
+    /// counter per view (index-aligned with `views`), so a packet costs one
+    /// map lookup for all views. Folded into each view's `noc` by
+    /// [`StatsCollector::finish`].
+    channels: BTreeMap<u32, Vec<ChannelToggles>>,
+    /// Toggle scratch for the sideband (header) wires, shared across views:
+    /// headers are never coded, so every view's sideband history is
+    /// identical and one counter per channel serves them all.
+    sideband: BTreeMap<u32, ChannelToggles>,
+    /// Per-view flat unit counters, indexed `[view][unit as usize]` —
+    /// the record paths bump these instead of a map, and `finish` folds
+    /// them into each view's `units`.
+    unit_acc: Vec<[UnitStats; bvf_core::Unit::ALL.len()]>,
+    /// Representative view index per event family: `rep[i]` is the first
+    /// view whose coder configuration for that family equals view `i`'s, so
+    /// an event's bit counts are computed once per *distinct* configuration
+    /// (e.g. "baseline" and "isa" share data paths) and reused.
+    warp_rep: Vec<usize>,
+    shared_rep: Vec<usize>,
+    line_rep: Vec<usize>,
+    instr_rep: Vec<usize>,
+    /// Per-view bit-count scratch backing the representative reuse.
+    bits_cache: Vec<BitCounts>,
     /// Reusable payload-encoding buffer (capacity persists across events).
-    #[serde(skip)]
     scratch: Vec<u8>,
+    /// Register-event memo: recently seen `(lanes, active)` inputs mapped
+    /// to their per-view bit counts. Registers holding loop-invariant
+    /// values (base addresses, limits, constants) are re-read far more
+    /// often than they change, and the counts are a pure function of the
+    /// input, so a small direct-mapped cache with a full-key compare skips
+    /// the transpose and every per-view count on a hit.
+    warp_memo: WarpMemo,
 }
 
-/// Equality is the recorded statistics (and log), not the derived coder
-/// cache or the scratch buffer's transient contents.
+/// Direct-mapped `(lanes, active)` → per-view [`BitCounts`] cache for
+/// [`StatsCollector::record_register`]. `n_views` counts are stored flat
+/// per way at `way * n_views`. The stored active mask is widened to `u64`
+/// so `u64::MAX` can mark an empty way without aliasing any real input.
+#[derive(Debug, Clone, PartialEq)]
+struct WarpMemo {
+    keys: Vec<([u32; 32], u64)>,
+    bits: Vec<BitCounts>,
+    n_views: usize,
+}
+
+const WARP_MEMO_WAYS: usize = 64;
+
+impl WarpMemo {
+    fn new(n_views: usize) -> Self {
+        Self {
+            keys: vec![([0u32; 32], u64::MAX); WARP_MEMO_WAYS],
+            bits: vec![BitCounts::default(); WARP_MEMO_WAYS * n_views],
+            n_views,
+        }
+    }
+
+    #[inline]
+    fn way(lanes: &[u32; 32], active: u32) -> usize {
+        // Two independent FNV-ish chains over u64 pairs keep the multiply
+        // dependency shallow; collisions only cost a recompute.
+        let (mut a, mut b) = (0x9e37_79b9_7f4a_7c15u64 ^ u64::from(active), 0u64);
+        for q in lanes.chunks_exact(4) {
+            let p0 = (u64::from(q[1]) << 32) | u64::from(q[0]);
+            let p1 = (u64::from(q[3]) << 32) | u64::from(q[2]);
+            a = (a ^ p0).wrapping_mul(0x0000_0100_0000_01b3);
+            b = (b ^ p1).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        }
+        ((a ^ b) >> 32) as usize % WARP_MEMO_WAYS
+    }
+
+    /// The cached per-view counts for this input, if present.
+    #[inline]
+    fn get(&self, way: usize, lanes: &[u32; 32], active: u32) -> Option<&[BitCounts]> {
+        let (kl, ka) = &self.keys[way];
+        (*ka == u64::from(active) && kl == lanes)
+            .then(|| &self.bits[way * self.n_views..(way + 1) * self.n_views])
+    }
+
+    #[inline]
+    fn insert(&mut self, way: usize, lanes: &[u32; 32], active: u32, bits: &[BitCounts]) {
+        self.keys[way] = (*lanes, u64::from(active));
+        self.bits[way * self.n_views..(way + 1) * self.n_views].copy_from_slice(bits);
+    }
+}
+
+/// Equality is the recorded statistics (and log), not the collection
+/// scratch (coder cache, channel toggle history, encode buffer).
 impl PartialEq for StatsCollector {
     fn eq(&self, other: &Self) -> bool {
-        self.views == other.views && self.log == other.log
+        self.views == other.views && self.unit_acc == other.unit_acc && self.log == other.log
     }
+}
+
+/// `rep[i]` = first index whose key equals `keys[i]`.
+fn representatives<K: PartialEq>(keys: &[K]) -> Vec<usize> {
+    (0..keys.len())
+        .map(|i| keys.iter().position(|k| *k == keys[i]).expect("self"))
+        .collect()
 }
 
 impl StatsCollector {
@@ -326,27 +523,33 @@ impl StatsCollector {
     ///
     /// # Panics
     ///
-    /// Panics if `views` is empty.
+    /// Panics if `views` is empty or `flit_bytes` is zero — a zero flit
+    /// width is rejected here, at construction, instead of surfacing as a
+    /// latent [`ChannelToggles::new`] panic on the first NoC packet.
     pub fn new(views: Vec<CodingView>, flit_bytes: usize) -> Self {
         assert!(!views.is_empty(), "at least one coding view is required");
-        let coders = views.iter().map(ViewCoders::of).collect();
+        assert!(flit_bytes > 0, "NoC flit width must be non-zero");
+        let coders: Vec<ViewCoders> = views.iter().map(ViewCoders::of).collect();
+        let n = views.len();
+        let warp_keys: Vec<_> = coders.iter().map(|c| (c.nv, c.reg_vs)).collect();
+        let shared_keys: Vec<_> = coders.iter().map(|c| c.nv).collect();
+        let line_keys: Vec<_> = coders.iter().map(|c| (c.nv, c.line_vs)).collect();
+        let instr_keys: Vec<_> = coders.iter().map(|c| c.isa).collect();
         Self {
-            views: views
-                .into_iter()
-                .map(|v| ViewStats::new(v, flit_bytes))
-                .collect(),
+            views: views.into_iter().map(ViewStats::new).collect(),
             log: None,
             coders,
+            flit_bytes,
+            channels: BTreeMap::new(),
+            sideband: BTreeMap::new(),
+            unit_acc: vec![Default::default(); n],
+            warp_rep: representatives(&warp_keys),
+            shared_rep: representatives(&shared_keys),
+            line_rep: representatives(&line_keys),
+            instr_rep: representatives(&instr_keys),
+            bits_cache: vec![BitCounts::default(); n],
             scratch: Vec::new(),
-        }
-    }
-
-    /// Rebuild the derived per-view coders if they are out of sync with the
-    /// views (only possible after deserialization, which skips them).
-    #[inline]
-    fn sync_coders(&mut self) {
-        if self.coders.len() != self.views.len() {
-            self.coders = self.views.iter().map(|v| ViewCoders::of(&v.view)).collect();
+            warp_memo: WarpMemo::new(n),
         }
     }
 
@@ -366,8 +569,10 @@ impl StatsCollector {
     /// active mask. Only active lanes' bits are counted (the paper counts
     /// only lanes that take the branch), but the full warp provides the VS
     /// pivot context.
+    ///
+    /// The lane matrix is transposed into bit-planes once and shared by
+    /// every view; each view's coders then run per bit position.
     pub fn record_register(&mut self, kind: AccessKind, lanes: &[u32; 32], active: u32) {
-        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::Reg {
                 kind: kind.into(),
@@ -375,28 +580,31 @@ impl StatsCollector {
                 active,
             });
         }
-        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
-            let mut data = *lanes;
-            if vc.nv {
-                NvCoder.encode_words(&mut data);
+        let way = WarpMemo::way(lanes, active);
+        if let Some(bits) = self.warp_memo.get(way, lanes, active) {
+            for (acc, &b) in self.unit_acc.iter_mut().zip(bits) {
+                bump(&mut acc[Unit::Reg as usize], kind, b, 1);
             }
-            if let Some(reg_vs) = vc.reg_vs {
-                reg_vs.encode_warp(&mut data);
-            }
-            let mut bits = BitCounts::default();
-            for (i, w) in data.iter().enumerate() {
-                if active >> i & 1 == 1 {
-                    bits.record(*w);
-                }
-            }
-            bump(vs.unit_mut(Unit::Reg), kind, bits, 1);
+            return;
         }
+        let planes = BitPlanes::from_lanes(lanes);
+        for i in 0..self.coders.len() {
+            let rep = self.warp_rep[i];
+            let bits = if rep == i {
+                self.coders[i].warp_bits(&planes, active)
+            } else {
+                self.bits_cache[rep]
+            };
+            self.bits_cache[i] = bits;
+            bump(&mut self.unit_acc[i][Unit::Reg as usize], kind, bits, 1);
+        }
+        self.warp_memo.insert(way, lanes, active, &self.bits_cache);
     }
 
     /// Record a shared-memory access (active lanes' words; VS does not
-    /// cover SME, so only NV applies).
+    /// cover SME, so only NV applies — plane-wise, off one shared
+    /// transpose).
     pub fn record_shared(&mut self, kind: AccessKind, lanes: &[u32; 32], active: u32) {
-        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::Shared {
                 kind: kind.into(),
@@ -404,52 +612,86 @@ impl StatsCollector {
                 active,
             });
         }
-        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
-            let mut bits = BitCounts::default();
-            for (i, w) in lanes.iter().enumerate() {
-                if active >> i & 1 == 1 {
-                    let e = if vc.nv { NvCoder.encode_u32(*w) } else { *w };
-                    bits.record(e);
-                }
-            }
-            bump(vs.unit_mut(Unit::Sme), kind, bits, 1);
+        let planes = BitPlanes::from_lanes(lanes);
+        for i in 0..self.coders.len() {
+            let rep = self.shared_rep[i];
+            let bits = if rep == i {
+                self.coders[i].shared_bits(&planes, active)
+            } else {
+                self.bits_cache[rep]
+            };
+            self.bits_cache[i] = bits;
+            bump(&mut self.unit_acc[i][Unit::Sme as usize], kind, bits, 1);
         }
     }
 
     /// Record a line-granular data access at an L1/L2 unit. `line` is the
     /// raw line content.
     pub fn record_line(&mut self, unit: Unit, kind: AccessKind, line: &[u8]) {
-        self.sync_coders();
+        self.record_line_kinds(unit, &[kind], line);
+    }
+
+    /// Record several back-to-back accesses of the *same* line content at
+    /// one unit (a miss refill is a Fill immediately re-read as a Read):
+    /// the per-view line bit counts are computed once and bumped per kind,
+    /// with one trace-log event per kind so a replay is indistinguishable
+    /// from discrete [`StatsCollector::record_line`] calls.
+    pub fn record_line_kinds(&mut self, unit: Unit, kinds: &[AccessKind], line: &[u8]) {
         if let Some(log) = &mut self.log {
-            log.events.push(crate::trace::TraceEvent::Line {
-                unit,
-                kind: kind.into(),
-                data: line.to_vec(),
-            });
+            for &kind in kinds {
+                log.events.push(crate::trace::TraceEvent::Line {
+                    unit,
+                    kind: kind.into(),
+                    data: line.to_vec(),
+                });
+            }
         }
-        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
-            bump(vs.unit_mut(unit), kind, vc.data_line_bits(line), 1);
+        for i in 0..self.coders.len() {
+            let rep = self.line_rep[i];
+            let bits = if rep == i {
+                self.coders[i].data_line_bits(line)
+            } else {
+                self.bits_cache[rep]
+            };
+            self.bits_cache[i] = bits;
+            for &kind in kinds {
+                bump(&mut self.unit_acc[i][unit as usize], kind, bits, 1);
+            }
         }
     }
 
     /// Record an instruction access (IFB, L1I, or the instruction-stream
     /// share of L2) of one 64-bit instruction word.
     pub fn record_instruction(&mut self, unit: Unit, kind: AccessKind, instr: u64) {
-        self.sync_coders();
+        self.record_instruction_units(&[unit], kind, instr);
+    }
+
+    /// Record the same instruction word hitting several units in sequence
+    /// (e.g. IFB then L1I on every issue): the per-view encoded bit counts
+    /// are computed once and bumped into each unit, but the trace log keeps
+    /// one event per unit so a replay is indistinguishable from discrete
+    /// [`StatsCollector::record_instruction`] calls.
+    pub fn record_instruction_units(&mut self, units: &[Unit], kind: AccessKind, instr: u64) {
         if let Some(log) = &mut self.log {
-            log.events.push(crate::trace::TraceEvent::Instr {
-                unit,
-                kind: kind.into(),
-                word: instr,
-            });
+            for &unit in units {
+                log.events.push(crate::trace::TraceEvent::Instr {
+                    unit,
+                    kind: kind.into(),
+                    word: instr,
+                });
+            }
         }
-        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
-            bump(
-                vs.unit_mut(unit),
-                kind,
-                BitCounts::of_word(vc.instr(instr)),
-                1,
-            );
+        for i in 0..self.coders.len() {
+            let rep = self.instr_rep[i];
+            let bits = if rep == i {
+                BitCounts::of_word(self.coders[i].instr(instr))
+            } else {
+                self.bits_cache[rep]
+            };
+            self.bits_cache[i] = bits;
+            for &unit in units {
+                bump(&mut self.unit_acc[i][unit as usize], kind, bits, 1);
+            }
         }
     }
 
@@ -457,7 +699,6 @@ impl StatsCollector {
     /// the instruction-stream share of L2): a single access whose payload is
     /// the given words.
     pub fn record_instruction_line(&mut self, unit: Unit, kind: AccessKind, words: &[u64]) {
-        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::InstrLine {
                 unit,
@@ -465,21 +706,29 @@ impl StatsCollector {
                 words: words.to_vec(),
             });
         }
-        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
-            let mut bits = BitCounts::default();
-            for &w in words {
-                bits.record(vc.instr(w));
-            }
-            bump(vs.unit_mut(unit), kind, bits, 1);
+        for i in 0..self.coders.len() {
+            let rep = self.instr_rep[i];
+            let bits = if rep == i {
+                let mut bits = BitCounts::default();
+                for &w in words {
+                    bits.record(self.coders[i].instr(w));
+                }
+                bits
+            } else {
+                self.bits_cache[rep]
+            };
+            self.bits_cache[i] = bits;
+            bump(&mut self.unit_acc[i][unit as usize], kind, bits, 1);
         }
     }
 
     /// Record a NoC packet: a raw header (addresses/ids) plus a data
     /// payload, sent on `channel`. Headers travel on the channel's sideband
-    /// control wires (a separate physical sub-channel, never coded);
-    /// payloads travel on the data wires and are coded per view
-    /// (instruction payloads with ISA, data payloads with NV+VS). Toggles
-    /// are counted on both sub-channels.
+    /// control wires (a separate physical sub-channel, keyed
+    /// `channel | SIDEBAND`, never coded); payloads travel on the data
+    /// wires and are coded per view (instruction payloads with ISA, data
+    /// payloads with NV+VS). Toggles are counted on both sub-channels, the
+    /// payload's in one batched whole-line pass.
     pub fn record_noc_packet(
         &mut self,
         channel: u32,
@@ -487,8 +736,6 @@ impl StatsCollector {
         payload: &[u8],
         instruction_payload: bool,
     ) {
-        const SIDEBAND: u32 = 1 << 30;
-        self.sync_coders();
         if let Some(log) = &mut self.log {
             log.events.push(crate::trace::TraceEvent::Noc {
                 channel,
@@ -497,19 +744,25 @@ impl StatsCollector {
                 instruction: instruction_payload,
             });
         }
+        if !header.is_empty() {
+            // One shared counter: the (never-coded) header bytes are the
+            // same under every view, so so is the sideband toggle history.
+            self.sideband
+                .entry(channel | crate::noc::SIDEBAND)
+                .or_insert_with(|| ChannelToggles::new(crate::noc::HEADER_BYTES))
+                .send(header);
+        }
+        if payload.is_empty() {
+            return;
+        }
+        let flit_bytes = self.flit_bytes;
+        let n = self.coders.len();
+        let chans = self
+            .channels
+            .entry(channel)
+            .or_insert_with(|| vec![ChannelToggles::new(flit_bytes); n]);
         let scratch = &mut self.scratch;
-        for (vs, vc) in self.views.iter_mut().zip(&self.coders) {
-            let flit_bytes = vs.flit_bytes;
-            if !header.is_empty() {
-                let ch = vs
-                    .channels
-                    .entry(channel | SIDEBAND)
-                    .or_insert_with(|| ChannelToggles::new(crate::noc::HEADER_BYTES));
-                ch.send(header);
-            }
-            if payload.is_empty() {
-                continue;
-            }
+        for (vc, ch) in self.coders.iter().zip(chans) {
             // Encode into the reusable scratch buffer; views that leave the
             // payload raw (e.g. the baseline) skip the copy entirely.
             let data: &[u8] = if instruction_payload {
@@ -532,13 +785,7 @@ impl StatsCollector {
             } else {
                 payload
             };
-            let ch = vs
-                .channels
-                .entry(channel)
-                .or_insert_with(|| ChannelToggles::new(flit_bytes));
-            for flit in data.chunks(flit_bytes) {
-                ch.send(flit);
-            }
+            ch.send_line(data);
             // Between packets the data wires return to their precharged-high
             // idle state (all-ones), the standard bus convention — and the
             // one the BVF space's "mostly 1s" toggle argument (§3.2) rests
@@ -560,10 +807,23 @@ impl StatsCollector {
         }
     }
 
-    /// Finalize and return per-view statistics.
+    /// Finalize and return per-view statistics: each view's flat unit
+    /// counters and per-channel toggle scratch are folded into its `units`
+    /// map and aggregate `noc` counters. Only units that saw at least one
+    /// access appear in the map (any record bumps an access count, so
+    /// "touched" and "non-default" coincide).
     pub fn finish(mut self) -> Vec<ViewStats> {
-        for v in &mut self.views {
-            v.finish_noc();
+        let default = UnitStats::default();
+        let sideband: ToggleStats = self.sideband.values().map(|c| c.stats()).sum();
+        for (vi, (v, acc)) in self.views.iter_mut().zip(&self.unit_acc).enumerate() {
+            for (unit, stats) in bvf_core::Unit::ALL.iter().zip(acc) {
+                if *stats != default {
+                    v.units.insert(*unit, *stats);
+                }
+            }
+            // Every view sees the same (uncoded) sideband traffic plus its
+            // own coded data-wire traffic.
+            v.noc = sideband + self.channels.values().map(|chs| chs[vi].stats()).sum();
         }
         self.views
     }
@@ -589,6 +849,8 @@ fn bump(u: &mut UnitStats, kind: AccessKind, bits: BitCounts, n: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bvf_core::Coder;
+    use proptest::prelude::*;
 
     fn collector() -> StatsCollector {
         StatsCollector::new(CodingView::standard_set(0x0123_4567_89ab_cdef), 32)
@@ -709,5 +971,167 @@ mod tests {
     #[should_panic(expected = "at least one coding view")]
     fn empty_views_rejected() {
         let _ = StatsCollector::new(vec![], 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit width must be non-zero")]
+    fn zero_flit_width_rejected_at_construction() {
+        // Regression: a zero flit width used to survive construction and
+        // panic later, inside ChannelToggles::new, on the first NoC packet.
+        let _ = StatsCollector::new(vec![CodingView::baseline()], 0);
+    }
+
+    #[test]
+    fn register_memo_does_not_alias_empty_ways() {
+        // Regression: all-zero lanes with a full active mask matched the
+        // memo's original empty-way sentinel and were "served" zero counts
+        // instead of being computed (NV flips zeros to ones).
+        let lanes = [0u32; 32];
+        let mut c = StatsCollector::new(CodingView::standard_set(0), 32);
+        c.record_register(AccessKind::Read, &lanes, u32::MAX);
+        c.record_register(AccessKind::Read, &lanes, u32::MAX);
+        for v in c.finish() {
+            let one = scalar_register_bits(&v.view, &lanes, u32::MAX);
+            assert_eq!(
+                v.unit(Unit::Reg).read_bits,
+                one + one,
+                "view {}",
+                v.view.name
+            );
+        }
+    }
+
+    /// Scalar reference implementation of the register path — the lane-form
+    /// coders applied per value, exactly as the collector worked before the
+    /// bit-sliced rewrite. The gate for the plane path.
+    fn scalar_register_bits(view: &CodingView, lanes: &[u32; 32], active: u32) -> BitCounts {
+        let mut data = *lanes;
+        if view.nv {
+            NvCoder.encode_words(&mut data);
+        }
+        if view.vs {
+            VsCoder::with_pivot(view.vs_reg_pivot).encode_warp(&mut data);
+        }
+        let mut bits = BitCounts::default();
+        for (i, w) in data.iter().enumerate() {
+            if active >> i & 1 == 1 {
+                bits.record(*w);
+            }
+        }
+        bits
+    }
+
+    /// Scalar reference for the line path: materialize the encoded bytes
+    /// with the bvf-core coders, then count.
+    fn scalar_line_bits(view: &CodingView, line: &[u8]) -> BitCounts {
+        let mut data = line.to_vec();
+        if data.len().is_multiple_of(4) {
+            if view.nv {
+                NvCoder.encode_bytes(&mut data);
+            }
+            if view.vs {
+                VsCoder::for_cache_lines().encode_line_bytes(&mut data);
+            }
+        }
+        BitCounts::of_bytes(&data)
+    }
+
+    fn lanes_from_seed(seed: u64) -> [u32; 32] {
+        let mut x = seed;
+        core::array::from_fn(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mix of narrow, negative, and wide values.
+            match x >> 62 {
+                0 => (x >> 56) as u32,
+                1 => (x >> 32) as u32 | 0x8000_0000,
+                _ => (x >> 32) as u32,
+            }
+        })
+    }
+
+    proptest! {
+        /// The bit-sliced register path must agree with the scalar coders
+        /// for every view, lane pattern, and divergence mask.
+        #[test]
+        fn bit_sliced_register_path_matches_scalar(seed: u64, active: u32) {
+            let lanes = lanes_from_seed(seed);
+            let mut c = collector();
+            // Recording the same input twice makes the second call a
+            // register-memo hit, which must double every count exactly.
+            c.record_register(AccessKind::Read, &lanes, active);
+            c.record_register(AccessKind::Read, &lanes, active);
+            for v in c.finish() {
+                let one = scalar_register_bits(&v.view, &lanes, active);
+                let expect = one + one;
+                prop_assert_eq!(v.unit(Unit::Reg).read_bits, expect, "view {}", v.view.name);
+            }
+        }
+
+        /// Same for the shared-memory path (NV only).
+        #[test]
+        fn bit_sliced_shared_path_matches_scalar(seed: u64, active: u32) {
+            let lanes = lanes_from_seed(seed);
+            let mut c = collector();
+            c.record_shared(AccessKind::Write, &lanes, active);
+            for v in c.finish() {
+                let mut expect = BitCounts::default();
+                for (i, &w) in lanes.iter().enumerate() {
+                    if active >> i & 1 == 1 {
+                        let e = if v.view.nv { NvCoder.encode_u32(w) } else { w };
+                        expect.record(e);
+                    }
+                }
+                prop_assert_eq!(v.unit(Unit::Sme).write_bits, expect, "view {}", v.view.name);
+            }
+        }
+
+        /// The batched SWAR line path must agree with the scalar coders for
+        /// every view and line shape: empty, non-word-aligned (uncoded
+        /// pass-through), odd word counts (SWAR tail), lines shorter than
+        /// the pivot, and full 128-byte lines.
+        #[test]
+        fn batched_line_path_matches_scalar(seed: u64, len_sel in 0usize..10) {
+            let len = [0, 1, 3, 4, 6, 12, 20, 52, 100, 128][len_sel];
+            let mut x = seed;
+            let line: Vec<u8> = (0..len).map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 56) as u8
+            }).collect();
+            let mut c = collector();
+            c.record_line(Unit::L1d, AccessKind::Fill, &line);
+            for v in c.finish() {
+                let expect = scalar_line_bits(&v.view, &line);
+                prop_assert_eq!(v.unit(Unit::L1d).fill_bits, expect, "view {} len {}", v.view.name, len);
+            }
+        }
+
+        /// Encoding a payload in place (the NoC path) must match the scalar
+        /// coder composition byte-for-byte.
+        #[test]
+        fn encode_data_line_matches_scalar_coders(seed: u64, len_sel in 0usize..8) {
+            let len = [0, 3, 4, 12, 36, 64, 100, 128][len_sel];
+            let mut x = seed;
+            let line: Vec<u8> = (0..len).map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 48) as u8
+            }).collect();
+            for view in CodingView::standard_set(0) {
+                let vc = ViewCoders::of(&view);
+                let mut batched = line.clone();
+                vc.encode_data_line(&mut batched);
+                let mut scalar = line.clone();
+                if scalar.len().is_multiple_of(4) {
+                    if view.nv {
+                        NvCoder.encode_bytes(&mut scalar);
+                    }
+                    if view.vs {
+                        VsCoder::for_cache_lines().encode_line_bytes(&mut scalar);
+                    }
+                }
+                prop_assert_eq!(&batched, &scalar, "view {} len {}", view.name, len);
+            }
+        }
     }
 }

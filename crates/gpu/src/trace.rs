@@ -314,7 +314,11 @@ mod tests {
                     }
                 }
                 2 => {
-                    let len = [0usize, 3, 64, 128][(r.next() % 4) as usize];
+                    // Lengths chosen to hit every line-path branch: empty,
+                    // non-word-aligned pass-through (3, 5), odd word counts
+                    // that exercise the SWAR tail word (20, 36, 100), and
+                    // full cache lines.
+                    let len = [0usize, 3, 5, 20, 36, 64, 100, 128][(r.next() % 8) as usize];
                     let mut data = vec![0u8; len];
                     for b in &mut data {
                         *b = (r.next() >> 24) as u8;
@@ -344,7 +348,14 @@ mod tests {
                             .map(|_| (r.next() >> 32) as u8)
                             .collect()
                     };
-                    let len = [0usize, 12, 64, 128][(r.next() % 4) as usize];
+                    // Payload lengths straddle flit boundaries (flit = 32):
+                    // header-only, short single flits, partial tail flits
+                    // (40 → 32+8, 100 → 3×32+4), non-word-aligned payloads
+                    // that skip coding (7, 33), and full lines. Every packet
+                    // is followed by the idle (all-ones) return inside
+                    // `record_noc_packet`, so batched line sends are checked
+                    // against interleaved `send_splat` history too.
+                    let len = [0usize, 7, 12, 33, 40, 64, 100, 128][(r.next() % 8) as usize];
                     let payload: Vec<u8> = (0..len).map(|_| (r.next() >> 40) as u8).collect();
                     let instruction = r.next().is_multiple_of(2);
                     collector.record_noc_packet(channel, &header, &payload, instruction);

@@ -1,0 +1,92 @@
+//! Campaign throughput snapshot and regression gate for CI.
+//!
+//! Runs the full 58-app baseline campaign sequentially (best of three runs,
+//! to damp scheduler noise), writes the measurement to `BENCH_collector.json`
+//! in the current directory, and — when `--baseline <file>` is given —
+//! fails with a non-zero exit if the measured sequential throughput drops
+//! below 90% of the committed baseline's `instructions_per_second`.
+//!
+//! ```text
+//! cargo run --release -p bvf-sim --example bench_snapshot -- \
+//!     --baseline ci/bench_baseline.json
+//! ```
+//!
+//! The baseline is a deliberate floor, not a record of the fastest machine:
+//! CI hardware varies, so the committed value is chosen low enough that an
+//! ordinary runner passes comfortably while a hot-path regression back to
+//! pre-bit-sliced collector throughput still fails the gate.
+
+use bvf_sim::{Campaign, Parallelism};
+
+/// Extract a numeric field from a flat JSON object without a JSON parser:
+/// finds `"name":` and reads the number that follows.
+fn json_number(text: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let at = text.find(&key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1));
+
+    const RUNS: usize = 3;
+    let mut best: Option<bvf_sim::RunReport> = None;
+    for run in 1..=RUNS {
+        let report = Campaign::full_baseline(Parallelism::Sequential).run_report();
+        println!(
+            "run {run}/{RUNS}: {:.3?} wall, {:.0} instr/s sequential",
+            report.wall, report.serial_instructions_per_second
+        );
+        let better = best.as_ref().is_none_or(|b| {
+            report.serial_instructions_per_second > b.serial_instructions_per_second
+        });
+        if better {
+            best = Some(report);
+        }
+    }
+    let best = best.expect("at least one run");
+    let ips = best.serial_instructions_per_second;
+
+    let snapshot = format!(
+        concat!(
+            "{{\"record\":\"bench_collector\",",
+            "\"apps\":{},",
+            "\"total_instructions\":{},",
+            "\"wall_ms\":{:.3},",
+            "\"instructions_per_second\":{:.0}}}\n"
+        ),
+        best.apps,
+        best.total_instructions,
+        best.wall.as_secs_f64() * 1e3,
+        ips,
+    );
+    std::fs::write("BENCH_collector.json", &snapshot).expect("write BENCH_collector.json");
+    print!("wrote BENCH_collector.json: {snapshot}");
+
+    if let Some(path) = baseline_path {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline = json_number(&text, "instructions_per_second")
+            .unwrap_or_else(|| panic!("no instructions_per_second in {path}"));
+        let floor = baseline * 0.9;
+        println!("baseline {baseline:.0} instr/s, gate at {floor:.0} (90%)");
+        if ips < floor {
+            eprintln!(
+                "FAIL: sequential throughput {ips:.0} instr/s regressed more than 10% \
+                 below the committed baseline {baseline:.0}"
+            );
+            std::process::exit(1);
+        }
+        println!("PASS: {ips:.0} instr/s >= {floor:.0}");
+    }
+}
