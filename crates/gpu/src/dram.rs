@@ -72,6 +72,16 @@ pub struct DramStats {
 }
 
 impl DramStats {
+    /// Accumulate another channel's (or launch shard's) statistics.
+    /// Every field is an associative counter, so folding per-channel and
+    /// per-shard stats in any grouping yields the same totals.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.requests += other.requests;
+        self.row_hits += other.row_hits;
+        self.busy_cycles += other.busy_cycles;
+        self.reorders += other.reorders;
+    }
+
     /// Row-buffer hit rate in `[0, 1]`; 0 when idle.
     pub fn row_hit_rate(&self) -> f64 {
         if self.requests == 0 {

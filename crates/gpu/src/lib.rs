@@ -66,5 +66,5 @@ pub use config::{GpuConfig, SchedulerKind};
 pub use dram::{DramChannel, DramConfig, DramStats};
 pub use memory::GlobalMemory;
 pub use phase::{Phase, PhaseProfile, PhaseSlice};
-pub use sim::{Gpu, TraceSummary};
+pub use sim::{merge_shards, shard_sm_range, Gpu, LaunchShard, TraceSummary};
 pub use stats::{CodingView, UnitStats, ViewStats};

@@ -42,6 +42,11 @@ pub const REPLY_TAG: u32 = 1 << 28;
 /// Endpoint ids (SM or L2-bank index) must fit below the direction tag.
 pub const ENDPOINT_BITS: u32 = 28;
 
+/// Bits of a reply-channel endpoint reserved for the L2-bank index (the
+/// SM index occupies the bits above). 256 banks is far beyond any
+/// configuration; the SM id still gets 20 bits.
+pub const BANK_BITS: u32 = 8;
+
 /// Direction of travel through the crossbar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Direction {
@@ -52,22 +57,34 @@ pub enum Direction {
 }
 
 /// Stable channel id for an endpoint pair. Requests are serialized on the
-/// source SM's injection port; replies on the L2 bank's ejection port —
-/// matching a crossbar where each port is a private set of wires.
+/// source SM's injection port; replies travel the dedicated (bank → SM)
+/// wires through the crossbar switch, so each (SM, bank) pair is its own
+/// reply channel. Because every SM owns a private slice of the L2 (the
+/// bank state is per-SM), a reply channel's toggle history involves
+/// exactly one SM — which is what lets a launch shard over an SM range
+/// reproduce the unsharded NoC statistics exactly.
 ///
 /// Ids are disjoint by construction as tagged bit-fields: bits
-/// `0..ENDPOINT_BITS` carry the endpoint index, bit 28 ([`REPLY_TAG`]) the
-/// direction, and bit 30 ([`SIDEBAND`]) is reserved for the collector's
-/// header sub-channels — so no request, reply, or sideband id can alias
-/// another regardless of SM/bank counts.
+/// `0..ENDPOINT_BITS` carry the endpoint index (for replies, the SM index
+/// above [`BANK_BITS`] bank bits), bit 28 ([`REPLY_TAG`]) the direction,
+/// and bit 30 ([`SIDEBAND`]) is reserved for the collector's header
+/// sub-channels — so no request, reply, or sideband id can alias another
+/// regardless of SM/bank counts.
 ///
 /// # Panics
 ///
-/// Panics if the endpoint index does not fit in [`ENDPOINT_BITS`] bits.
+/// Panics if the endpoint index does not fit in [`ENDPOINT_BITS`] bits, or
+/// if a reply's bank index does not fit in [`BANK_BITS`] bits.
 pub fn channel_id(sm: u32, l2_bank: u32, dir: Direction) -> u32 {
     let (endpoint, tag) = match dir {
         Direction::Request => (sm, 0),
-        Direction::Reply => (l2_bank, REPLY_TAG),
+        Direction::Reply => {
+            assert!(
+                l2_bank < (1 << BANK_BITS),
+                "bank id {l2_bank} exceeds {BANK_BITS}-bit reply-channel field"
+            );
+            ((sm << BANK_BITS) | l2_bank, REPLY_TAG)
+        }
     };
     assert!(
         endpoint < (1 << ENDPOINT_BITS),
@@ -145,6 +162,13 @@ mod tests {
             channel_id(0, 0, Direction::Reply),
             channel_id(0, 1, Direction::Reply)
         );
+        // Replies are per (SM, bank) pair: two SMs reading through the same
+        // bank must not share a toggle history, or a launch shard's NoC
+        // statistics would depend on which other SMs ran alongside it.
+        assert_ne!(
+            channel_id(0, 1, Direction::Reply),
+            channel_id(1, 1, Direction::Reply)
+        );
     }
 
     #[test]
@@ -219,8 +243,8 @@ mod tests {
         /// unique, and none can collide with a sideband id.
         #[test]
         fn channel_ids_disjoint_by_construction(
-            sm in 0u32..(1 << ENDPOINT_BITS),
-            bank in 0u32..(1 << ENDPOINT_BITS),
+            sm in 0u32..(1 << (ENDPOINT_BITS - BANK_BITS)),
+            bank in 0u32..(1 << BANK_BITS),
         ) {
             let req = channel_id(sm, bank, Direction::Request);
             let rep = channel_id(sm, bank, Direction::Reply);

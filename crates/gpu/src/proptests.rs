@@ -7,6 +7,60 @@ use crate::cache::{Access, Cache, CacheConfig};
 use crate::config::SchedulerKind;
 use crate::dram::{DramChannel, DramConfig, DramRequest};
 use crate::sched::Scheduler;
+use crate::sim::{merge_shards, shard_sm_range};
+use crate::stats::CodingView;
+use crate::{Gpu, GpuConfig};
+use bvf_isa::ir::{BufferId, Kernel, LaunchConfig, Op, Operand, Special, Stmt};
+
+/// Vector add over buffers 0+1 into 2 — touches registers, both cache
+/// levels, the NoC and DRAM, so every merged counter is exercised.
+fn vecadd() -> Kernel {
+    let mut k = Kernel::new("prop_vecadd", 6);
+    k.body.push(Stmt::op3(
+        Op::Mov,
+        0,
+        Operand::Special(Special::GlobalTid),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(0)),
+        1,
+        Operand::Reg(0),
+        Operand::Imm(0),
+    ));
+    k.body.push(Stmt::op3(
+        Op::LdGlobal(BufferId(1)),
+        2,
+        Operand::Reg(0),
+        Operand::Imm(0),
+    ));
+    k.body
+        .push(Stmt::op3(Op::IAdd, 3, Operand::Reg(1), Operand::Reg(2)));
+    k.body.push(Stmt::op4(
+        Op::StGlobal(BufferId(2)),
+        0,
+        Operand::Reg(0),
+        Operand::Imm(0),
+        Operand::Reg(3),
+    ));
+    k
+}
+
+fn prepared_gpu(sms: u32, words: usize, seed: u32) -> Gpu {
+    let mut cfg = GpuConfig::baseline();
+    cfg.sms = sms;
+    let mut gpu = Gpu::new(cfg, CodingView::standard_set(0x00ff_00ff));
+    gpu.memory_mut().add_buffer(
+        BufferId(0),
+        (0..words as u32)
+            .map(|i| i.wrapping_mul(seed | 1))
+            .collect(),
+    );
+    gpu.memory_mut()
+        .add_buffer(BufferId(1), (0..words as u32).map(|i| i ^ seed).collect());
+    gpu.memory_mut().add_buffer(BufferId(2), vec![0; words]);
+    gpu
+}
 
 proptest! {
     /// A cache access immediately repeated is always a hit, for any
@@ -129,5 +183,58 @@ proptest! {
         ch.drain();
         prop_assert_eq!(ch.pending(), 0);
         prop_assert_eq!(ch.stats().requests, addrs.len() as u64);
+    }
+
+    /// [`shard_sm_range`] partitions `0..sms` into `count` contiguous,
+    /// non-overlapping ranges (surplus shards when `count > sms` are empty).
+    #[test]
+    fn shard_ranges_partition_the_sms(sms in 1u32..64, count in 1u32..80) {
+        let mut next = 0u32;
+        for index in 0..count {
+            let (start, end) = shard_sm_range(sms, index, count);
+            prop_assert_eq!(start, next, "shard {index} not contiguous");
+            prop_assert!(end >= start);
+            next = end;
+        }
+        prop_assert_eq!(next, sms, "partition must cover every SM");
+    }
+
+    /// The merge law: running a launch as any number of SM-range shards and
+    /// merging is bit-identical to the unsharded launch — for arbitrary
+    /// grid geometry, data, and shard counts (including counts that do not
+    /// divide the SM count, and counts exceeding it).
+    #[test]
+    fn shard_then_merge_equals_sequential_launch(
+        sms in 1u32..5,
+        grid_ctas in 1u32..10,
+        threads_x32 in 1u32..5,
+        count in 1u32..7,
+        seed in any::<u32>(),
+    ) {
+        let k = vecadd();
+        let lc = LaunchConfig::new(grid_ctas, threads_x32 * 32);
+        let words = (grid_ctas * threads_x32 * 32) as usize;
+        let mut gpu = prepared_gpu(sms, words, seed);
+        let config = gpu.config().clone();
+        let sequential = gpu.launch(&k, lc);
+        let expected_out = gpu.memory().buffer(BufferId(2)).unwrap().to_vec();
+
+        let mut shards = Vec::new();
+        let mut out = vec![0u32; words];
+        for index in 0..count {
+            let mut gpu = prepared_gpu(sms, words, seed);
+            shards.push(gpu.launch_shard(&k, lc, index, count));
+            // Each shard's memory holds only its own CTAs' stores; the
+            // written words are disjoint across shards.
+            for (o, &v) in out.iter_mut().zip(gpu.memory().buffer(BufferId(2)).unwrap()) {
+                if v != 0 {
+                    *o = v;
+                }
+            }
+        }
+        let merged = merge_shards(&config, &shards);
+        prop_assert_eq!(&merged, &sequential);
+        prop_assert_eq!(merged.cycles, sequential.cycles);
+        prop_assert_eq!(out, expected_out);
     }
 }

@@ -11,7 +11,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use bvf_bits::{BitCounts, NarrowValueProfile};
 use bvf_core::Unit;
-use bvf_isa::ir::{Kernel, LaunchConfig, Op};
+use bvf_isa::ir::{BufferId, Kernel, LaunchConfig, Op};
 use bvf_isa::Architecture;
 use bvf_obs::{MetricsSink, Recorder};
 use serde::{Deserialize, Serialize};
@@ -22,7 +22,7 @@ use crate::dram::{DramChannel, DramConfig, DramRequest, DramStats};
 use crate::exec::{FlatProgram, StepResult, Warp, WarpEnv};
 use crate::memory::GlobalMemory;
 use crate::noc::{channel_id, cmd, flits_for, header, Direction};
-use crate::phase::{PhaseProfile, SimMetrics};
+use crate::phase::{Phase, PhaseProfile, SimMetrics};
 use crate::sched::Scheduler;
 use crate::stats::{AccessKind, CodingView, StatsCollector, ViewStats};
 
@@ -58,7 +58,8 @@ pub struct TraceSummary {
     /// Fraction of each unit's capacity touched during the run (leakage
     /// occupancy input).
     pub utilization: BTreeMap<Unit, f64>,
-    /// Shared-memory bank-conflict extra cycles.
+    /// Shared-memory bank-conflict extra cycles, summed over SMs (each
+    /// SM's own conflicts are part of its critical path inside `cycles`).
     pub smem_conflict_cycles: u64,
     /// Aggregate DRAM-channel statistics (FR-FCFS model).
     pub dram: DramStats,
@@ -102,6 +103,270 @@ impl TraceSummary {
     }
 }
 
+/// Raw partial results of one contiguous SM-range slice of a launch (see
+/// [`Gpu::launch_shard`]).
+///
+/// A shard carries integer partials — sums, maxima, touched-line sets,
+/// and the raw DRAM request log — rather than derived rates, so
+/// [`merge_shards`] computes every `f64` of the final [`TraceSummary`]
+/// exactly once, from the same totals the unsharded launch would use.
+/// Together with per-SM simulation state (each SM gets its own L2 slice,
+/// memory image, and Fig. 11 sampling phase), that makes `merge_shards`
+/// bit-identical to [`Gpu::launch`] for **any** contiguous partition of
+/// the SM range.
+#[derive(Debug, Clone)]
+pub struct LaunchShard {
+    /// Per-view statistics of this shard's SMs.
+    pub views: Vec<ViewStats>,
+    /// Max over this shard's SMs of the per-SM critical path: issues +
+    /// exposed L1D-miss stall + operand-bank and shared-memory conflict
+    /// serialization.
+    pub max_core_cycles: u64,
+    /// Instructions issued by this shard's SMs.
+    pub dynamic_instructions: u64,
+    /// L1D hits over this shard's SMs (rates are derived at merge time).
+    pub l1d_hits: u64,
+    /// L1D accesses over this shard's SMs.
+    pub l1d_accesses: u64,
+    /// L2 hits over this shard's per-SM L2 slices.
+    pub l2_hits: u64,
+    /// L2 accesses over this shard's per-SM L2 slices.
+    pub l2_accesses: u64,
+    /// Narrow-value profile of the shard's global traffic (Fig. 8).
+    pub narrow: NarrowValueProfile,
+    /// Raw 0/1 bit counts of the shard's global traffic (Fig. 9).
+    pub data_bits: BitCounts,
+    /// Fig. 11 lane-Hamming accumulators (sums, not means).
+    pub lane_sums: [u64; 32],
+    /// Number of sampled register writes behind `lane_sums`.
+    pub lane_samples: u64,
+    /// Distinct lines touched per unit, indexed by `unit as usize` and
+    /// sorted so the persisted encoding is deterministic. Merged by set
+    /// union (an I-line fetched by several SMs counts once).
+    pub touched_lines: [Vec<u64>; 9],
+    /// Shared-memory bank-conflict cycles summed over the shard's SMs.
+    pub smem_conflict_cycles: u64,
+    /// DRAM traffic (L2 misses and writebacks) of this shard's SMs, each
+    /// request tagged with its channel, in execution order. Shards *log*
+    /// off-chip traffic instead of servicing it: [`merge_shards`]
+    /// concatenates the logs in shard order — exactly the global order
+    /// the sequential SM loop produces — and drains them through one
+    /// launch-wide FR-FCFS channel set, so row-buffer locality between
+    /// requests from *different* SMs survives any sharding.
+    pub dram_log: Vec<(u32, DramRequest)>,
+    /// Register-file occupancy. Derived from the kernel and launch
+    /// geometry alone, hence identical across shards.
+    pub reg_utilization: f64,
+    /// Shared-memory occupancy (same shard-invariance as `reg_utilization`).
+    pub sme_utilization: f64,
+    /// Simulator self-time of this shard (merged, never compared).
+    pub profile: PhaseProfile,
+}
+
+/// Equality ignores the phase profile, exactly like [`TraceSummary`]'s:
+/// a cached shard restored from disk must compare bit-identical to a
+/// freshly simulated one.
+impl PartialEq for LaunchShard {
+    fn eq(&self, other: &Self) -> bool {
+        self.views == other.views
+            && self.max_core_cycles == other.max_core_cycles
+            && self.dynamic_instructions == other.dynamic_instructions
+            && self.l1d_hits == other.l1d_hits
+            && self.l1d_accesses == other.l1d_accesses
+            && self.l2_hits == other.l2_hits
+            && self.l2_accesses == other.l2_accesses
+            && self.narrow == other.narrow
+            && self.data_bits == other.data_bits
+            && self.lane_sums == other.lane_sums
+            && self.lane_samples == other.lane_samples
+            && self.touched_lines == other.touched_lines
+            && self.smem_conflict_cycles == other.smem_conflict_cycles
+            && self.dram_log == other.dram_log
+            && self.reg_utilization == other.reg_utilization
+            && self.sme_utilization == other.sme_utilization
+    }
+}
+
+/// The contiguous SM range `start..end` covered by shard `index` of
+/// `count`: SMs are split as evenly as possible, the first `sms % count`
+/// shards taking one extra. With `count > sms` the surplus shards get
+/// empty ranges (they merge as zeros).
+///
+/// # Panics
+///
+/// Panics unless `index < count`.
+pub fn shard_sm_range(sms: u32, index: u32, count: u32) -> (u32, u32) {
+    assert!(
+        index < count,
+        "shard {index} out of range for {count} shards"
+    );
+    let base = sms / count;
+    let rem = sms % count;
+    let start = index * base + index.min(rem);
+    let end = start + base + u32::from(index < rem);
+    (start, end)
+}
+
+/// Merge shard results into the [`TraceSummary`] of the whole launch.
+///
+/// Counters, profiles, and toggle statistics sum; cycle terms take the
+/// max (SM critical paths and the busiest DRAM channel bound the launch,
+/// they do not add across concurrent SMs); rates and occupancies are
+/// derived from the merged integer totals. The launch's DRAM traffic is
+/// serviced *here*, exactly once: the shard logs are concatenated in
+/// shard order and drained through one global FR-FCFS channel set.
+/// Pass every shard of one launch exactly once, **in shard-index
+/// order** — the counter merges are commutative, but the DRAM replay
+/// must see the same global request order the sequential SM loop
+/// produces.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty or the shards disagree on the view set.
+pub fn merge_shards(config: &GpuConfig, shards: &[LaunchShard]) -> TraceSummary {
+    assert!(!shards.is_empty(), "merge needs at least one shard");
+    let mut views = shards[0].views.clone();
+    for s in &shards[1..] {
+        assert_eq!(
+            views.len(),
+            s.views.len(),
+            "shards disagree on the view set"
+        );
+        for (acc, v) in views.iter_mut().zip(&s.views) {
+            acc.merge(v);
+        }
+    }
+
+    let mut max_core_cycles = 0u64;
+    let mut dynamic_instructions = 0u64;
+    let (mut l1d_hits, mut l1d_accesses) = (0u64, 0u64);
+    let (mut l2_hits, mut l2_accesses) = (0u64, 0u64);
+    let mut narrow = NarrowValueProfile::new();
+    let mut data_bits = BitCounts::default();
+    let mut lane_sums = [0u64; 32];
+    let mut lane_samples = 0u64;
+    let mut smem_conflict_cycles = 0u64;
+    let mut profile = PhaseProfile::empty();
+    for s in shards {
+        max_core_cycles = max_core_cycles.max(s.max_core_cycles);
+        dynamic_instructions += s.dynamic_instructions;
+        l1d_hits += s.l1d_hits;
+        l1d_accesses += s.l1d_accesses;
+        l2_hits += s.l2_hits;
+        l2_accesses += s.l2_accesses;
+        narrow.merge(&s.narrow);
+        data_bits += s.data_bits;
+        for (acc, &x) in lane_sums.iter_mut().zip(&s.lane_sums) {
+            *acc += x;
+        }
+        lane_samples += s.lane_samples;
+        smem_conflict_cycles += s.smem_conflict_cycles;
+        profile.merge(&s.profile);
+    }
+
+    // The launch-global DRAM drain. All shards' request logs, replayed in
+    // shard order through one channel set, give FR-FCFS the same queue a
+    // sequential run over the whole SM range would build — row hits
+    // between requests from different SMs (a streaming kernel's bread and
+    // butter) are preserved bit-for-bit under any contiguous partition.
+    let drain_started = std::time::Instant::now();
+    let mut channels: Vec<DramChannel> = (0..config.l2_banks)
+        .map(|_| DramChannel::new(DramConfig::default()))
+        .collect();
+    for s in shards {
+        for &(ch, req) in &s.dram_log {
+            channels[ch as usize].enqueue(req);
+        }
+    }
+    let mut dram = DramStats::default();
+    let mut dram_max_busy = 0u64;
+    for ch in &mut channels {
+        ch.drain();
+        let s = ch.stats();
+        dram.merge(&s);
+        dram_max_busy = dram_max_busy.max(s.busy_cycles);
+    }
+    // The replay is simulator self-time that used to run inside the
+    // launch span; attribute it to the `dram_drain` phase so profiled
+    // breakdowns keep telling the truth. (The profile is excluded from
+    // summary equality, so this cannot perturb bit-identity checks.)
+    if profile.is_enabled() {
+        let drain_nanos = drain_started.elapsed().as_nanos() as u64;
+        if let Some(s) = profile
+            .slices
+            .iter_mut()
+            .find(|s| s.phase == Phase::DramDrain)
+        {
+            s.nanos += drain_nanos;
+        }
+        profile.launch_nanos += drain_nanos;
+    }
+    let dram_exposed = (dram_max_busy as f64 * (1.0 - config.scheduler.latency_hiding())) as u64;
+
+    let lane_profile = if lane_samples == 0 {
+        [0.0; 32]
+    } else {
+        let denom = (lane_samples * 31) as f64;
+        core::array::from_fn(|i| lane_sums[i] as f64 / denom)
+    };
+    let optimal_lane = lane_profile
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let mut utilization = BTreeMap::new();
+    utilization.insert(Unit::Reg, shards[0].reg_utilization);
+    utilization.insert(Unit::Sme, shards[0].sme_utilization);
+    let lines = |unit: Unit| -> u64 {
+        let u = unit as usize;
+        if shards.len() == 1 {
+            return shards[0].touched_lines[u].len() as u64;
+        }
+        let mut set = LineSet::default();
+        for s in shards {
+            set.extend(s.touched_lines[u].iter().copied());
+        }
+        set.len() as u64
+    };
+    let line_bytes = u64::from(config.l2_bank.line_bytes());
+    // L1 caches are per SM; touched lines are aggregated across SMs, so
+    // compare against the per-SM capacity times the SM count.
+    let sms = u64::from(config.sms);
+    for (unit, capacity) in [
+        (Unit::L1d, config.l1d.bytes() * sms),
+        (Unit::L1i, config.l1i.bytes() * sms),
+        (Unit::L1c, config.l1c.bytes() * sms),
+        (Unit::L1t, config.l1t.bytes() * sms),
+        (
+            Unit::L2,
+            config.l2_bank.bytes() * u64::from(config.l2_banks),
+        ),
+    ] {
+        utilization.insert(
+            unit,
+            clamp01((lines(unit) * line_bytes) as f64 / capacity as f64),
+        );
+    }
+
+    TraceSummary {
+        views,
+        cycles: max_core_cycles + dram_exposed,
+        dynamic_instructions,
+        l1d_hit_rate: ratio(l1d_hits, l1d_accesses),
+        l2_hit_rate: ratio(l2_hits, l2_accesses),
+        narrow,
+        data_bits,
+        lane_profile,
+        optimal_lane,
+        utilization,
+        smem_conflict_cycles,
+        dram,
+        profile,
+    }
+}
+
 /// Multiplicative hasher for line-address sets. `touch` runs on every
 /// memory event, where SipHash's per-insert cost is measurable; line
 /// addresses are well spread already, so Fibonacci hashing suffices.
@@ -129,7 +394,12 @@ struct SharedState {
     collector: StatsCollector,
     memory: GlobalMemory,
     l2: Vec<Cache>,
-    dram: Vec<DramChannel>,
+    /// Every L2 miss and writeback of this shard, tagged with its channel
+    /// (one DRAM channel per L2 bank), in execution order. Off-chip
+    /// traffic is logged here rather than serviced: the launch-global
+    /// FR-FCFS drain runs once, in [`merge_shards`], over the
+    /// concatenated logs of all shards.
+    dram_log: Vec<(u32, DramRequest)>,
     l2_line_bytes: u32,
     flit_bytes: usize,
     /// Per-launch metrics recorder (no-op without a sink) and the ids it
@@ -147,7 +417,12 @@ struct SharedState {
     /// times in a row (16 sequential fetches per I-line), and skipping the
     /// repeated hash insert is measurable. `u64::MAX` = none yet.
     last_touched: [u64; 9],
-    smem_conflict_cycles: u64,
+    /// Every global store of the launch, in execution order. Each SM runs
+    /// against its own clone of the prepared memory (so its line images
+    /// cannot observe another SM's writes — the isolation the shard merge
+    /// law rests on); the log replays all writes onto the caller-visible
+    /// memory once the SM loop finishes.
+    store_log: Vec<(BufferId, u32, u32)>,
     /// Scratch for one cache line image, reused across every memory event.
     line_buf: Vec<u8>,
     /// Scratch for one instruction line (words + serialized payload).
@@ -233,10 +508,13 @@ impl SharedState {
         );
     }
 
+    /// Log one L2 miss (or writeback) bound for the DRAM channel behind
+    /// L2 bank `bank`. Requests are recorded, not serviced — see
+    /// [`SharedState::dram_log`].
     #[inline]
     fn dram_enqueue(&mut self, bank: u32, req: DramRequest) {
         self.rec.add(self.m.dram_requests, 1);
-        self.dram[bank as usize].enqueue(req);
+        self.dram_log.push((bank, req));
     }
 }
 
@@ -249,9 +527,12 @@ struct SmState {
     l1t: Cache,
     scheduler: Scheduler,
     issues: u64,
-    l1d_misses: u64,
     reg_bank_conflicts: u64,
     reg_banks: u32,
+    /// Shared-memory bank-conflict serialization cycles of THIS SM. Kept
+    /// per-SM (not pooled launch-wide) so conflicts only lengthen the
+    /// critical path when they happen on the critical SM.
+    smem_conflict_cycles: u64,
 }
 
 /// Environment adapter handed to [`Warp::step`]: routes callbacks into the
@@ -295,9 +576,6 @@ impl SmEnv<'_> {
                 self.shared.record_line(l1_unit, AccessKind::Read, &line);
             }
             Access::Miss { .. } => {
-                if l1_unit == Unit::L1d {
-                    self.sm.l1d_misses += 1;
-                }
                 // Request over the NoC to the owning L2 bank.
                 let bank = self.l2_bank_of(line_addr);
                 let req = header(cmd::READ_REQ, self.sm.id, bank, line_addr, self.warp_id);
@@ -549,10 +827,15 @@ impl WarpEnv for SmEnv<'_> {
         let span = self.shared.rec.begin(self.shared.m.gmem);
 
         if let Some(values) = data {
-            // Store: update memory first, then coalesce lines to L2.
+            // Store: update (this SM's image of) memory first, then
+            // coalesce lines to L2. The log replays the write onto the
+            // caller-visible memory after the SM loop.
             for lane in 0..32 {
                 if active >> lane & 1 == 1 {
                     self.shared.memory.store(buf, indices[lane], values[lane]);
+                    self.shared
+                        .store_log
+                        .push((buf, indices[lane], values[lane]));
                 }
             }
             self.profile_global_data(values, active);
@@ -601,7 +884,7 @@ impl WarpEnv for SmEnv<'_> {
         }
         let serial = bank_count.iter().copied().max().unwrap_or(0);
         if serial > 1 {
-            self.shared.smem_conflict_cycles += u64::from(serial - 1);
+            self.sm.smem_conflict_cycles += u64::from(serial - 1);
         }
 
         if let Some(values) = data {
@@ -704,13 +987,43 @@ impl Gpu {
 
     /// Execute `kernel` over `lc` to completion and summarize the trace.
     ///
+    /// Equivalent to running the single shard covering every SM and
+    /// merging it — which is not a figure of speech but the actual
+    /// implementation, so the unsharded result is definitionally the
+    /// merge of its per-SM pieces.
+    ///
     /// # Panics
     ///
     /// Panics if the kernel references unregistered buffers, or if its
     /// per-thread register demand exceeds the register file.
     pub fn launch(&mut self, kernel: &Kernel, lc: LaunchConfig) -> TraceSummary {
+        let shard = self.launch_shard(kernel, lc, 0, 1);
+        merge_shards(&self.config, core::slice::from_ref(&shard))
+    }
+
+    /// Execute shard `shard_index` of `shard_count` — the contiguous SM
+    /// range given by [`shard_sm_range`] — and return its raw partial
+    /// results. [`merge_shards`] over all `shard_count` shards (each run
+    /// against an identically prepared GPU) is bit-identical to
+    /// [`Gpu::launch`] on one GPU.
+    ///
+    /// After a shard launch, this GPU's memory holds the stores of the
+    /// shard's own CTAs only (on top of the prepared contents) — partial
+    /// kernel output, full statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Gpu::launch`], or if `shard_index >= shard_count`.
+    pub fn launch_shard(
+        &mut self,
+        kernel: &Kernel,
+        lc: LaunchConfig,
+        shard_index: u32,
+        shard_count: u32,
+    ) -> LaunchShard {
         let prog = FlatProgram::compile(kernel, self.arch);
         let cfg = &self.config;
+        let (sm_start, sm_end) = shard_sm_range(cfg.sms, shard_index, shard_count);
         let warps_per_cta = lc.warps_per_cta();
         assert!(
             warps_per_cta <= cfg.warps_per_sm,
@@ -730,13 +1043,17 @@ impl Gpu {
         let m = SimMetrics::register(&self.metrics);
         let rec = self.metrics.recorder();
         let launch_span = rec.begin(m.launch);
+        // The prepared memory image. Every SM simulates against its own
+        // clone: line images and load values must not observe another
+        // SM's stores, or a shard boundary between two SMs would change
+        // recorded bits (SMs run concurrently on real hardware — there
+        // is no defined cross-SM store order to observe).
+        let pristine = std::mem::take(&mut self.memory);
         let mut shared = SharedState {
             collector,
-            memory: std::mem::take(&mut self.memory),
-            l2: (0..cfg.l2_banks).map(|_| Cache::new(cfg.l2_bank)).collect(),
-            dram: (0..cfg.l2_banks)
-                .map(|_| DramChannel::new(DramConfig::default()))
-                .collect(),
+            memory: GlobalMemory::new(),
+            l2: Vec::new(),
+            dram_log: Vec::new(),
             l2_line_bytes: cfg.l2_bank.line_bytes(),
             flit_bytes: cfg.noc_flit_bytes,
             rec,
@@ -748,23 +1065,36 @@ impl Gpu {
             reg_write_counter: 0,
             touched: Default::default(),
             last_touched: [u64::MAX; 9],
-            smem_conflict_cycles: 0,
+            store_log: Vec::new(),
             line_buf: Vec::new(),
             instr_buf: Vec::new(),
             payload_buf: Vec::new(),
             bank_buf: Vec::new(),
         };
         let concurrent_ctas = (cfg.warps_per_sm / warps_per_cta).max(1);
-        let mut max_cycles = 0u64;
+        let mut max_core_cycles = 0u64;
         let mut total_issues = 0u64;
-        let mut l1d_hits_total = 0u64;
-        let mut l1d_accesses_total = 0u64;
+        let (mut l1d_hits, mut l1d_accesses) = (0u64, 0u64);
+        let (mut l2_hits, mut l2_accesses) = (0u64, 0u64);
+        let mut smem_conflict_cycles = 0u64;
 
-        for sm_id in 0..cfg.sms {
+        for sm_id in sm_start..sm_end {
             let my_ctas: Vec<u32> = (0..lc.grid_ctas).filter(|c| c % cfg.sms == sm_id).collect();
             if my_ctas.is_empty() {
                 continue;
             }
+            // Every SM gets a fresh L2 slice, memory image and Fig. 11
+            // sampling phase: an SM's results must not depend on which
+            // other SMs ran before it in this process, so that a shard
+            // boundary anywhere in the SM range changes nothing. (This
+            // also removes a serialization artifact of the sequential SM
+            // loop: later SMs no longer warm up on earlier SMs' L2
+            // fills.) DRAM needs no per-SM state here — misses append to
+            // the shard's request log, and the channels themselves exist
+            // only during the launch-global replay in `merge_shards`.
+            shared.l2 = (0..cfg.l2_banks).map(|_| Cache::new(cfg.l2_bank)).collect();
+            shared.memory = pristine.clone();
+            shared.reg_write_counter = 0;
             let mut sm = SmState {
                 id: sm_id,
                 l1d: Cache::new(cfg.l1d),
@@ -773,80 +1103,77 @@ impl Gpu {
                 l1t: Cache::new(cfg.l1t),
                 scheduler: Scheduler::new(cfg.scheduler),
                 issues: 0,
-                l1d_misses: 0,
                 reg_bank_conflicts: 0,
                 reg_banks: cfg.reg_banks,
+                smem_conflict_cycles: 0,
             };
 
             for wave in my_ctas.chunks(concurrent_ctas as usize) {
                 self.run_wave(&prog, lc, wave, &mut sm, &mut shared, cfg.smem_banks);
             }
 
-            let stall = (sm.l1d_misses as f64
+            // The stall model reads the L1D's own miss counter — the
+            // same counter the hit rate is derived from, so the two can
+            // never drift apart.
+            let stall = (sm.l1d.misses() as f64
                 * f64::from(cfg.miss_latency)
                 * (1.0 - cfg.scheduler.latency_hiding())) as u64;
-            max_cycles = max_cycles.max(sm.issues + stall + sm.reg_bank_conflicts);
+            max_core_cycles = max_core_cycles
+                .max(sm.issues + stall + sm.reg_bank_conflicts + sm.smem_conflict_cycles);
             total_issues += sm.issues;
-            l1d_hits_total += sm.l1d.hits();
-            l1d_accesses_total += sm.l1d.hits() + sm.l1d.misses();
+            l1d_hits += sm.l1d.hits();
+            l1d_accesses += sm.l1d.hits() + sm.l1d.misses();
+            l2_hits += shared.l2.iter().map(Cache::hits).sum::<u64>();
+            l2_accesses += shared.l2.iter().map(|c| c.hits() + c.misses()).sum::<u64>();
+            smem_conflict_cycles += sm.smem_conflict_cycles;
         }
 
-        let l2_hits: u64 = shared.l2.iter().map(|c| c.hits()).sum();
-        let l2_total: u64 = shared.l2.iter().map(|c| c.hits() + c.misses()).sum();
-
-        // Drain the DRAM channels; the busiest channel bounds the memory
-        // time, largely overlapped with execution by multithreading.
-        let drain_span = shared.rec.begin(shared.m.dram);
-        let mut dram_stats = DramStats::default();
-        let mut dram_max_busy = 0u64;
-        for ch in &mut shared.dram {
-            ch.drain();
-            let s = ch.stats();
-            dram_stats.requests += s.requests;
-            dram_stats.row_hits += s.row_hits;
-            dram_stats.busy_cycles += s.busy_cycles;
-            dram_stats.reorders += s.reorders;
-            dram_max_busy = dram_max_busy.max(s.busy_cycles);
+        // Replay every SM's stores onto the prepared image so callers can
+        // inspect kernel results and relaunch. The workload templates
+        // never store the same word from two CTAs, so the replay order
+        // cannot matter — the same disjointness that makes per-SM memory
+        // isolation exact.
+        let mut memory = pristine;
+        for &(buf, idx, value) in &shared.store_log {
+            memory.store(buf, idx, value);
         }
-        shared.rec.end(drain_span);
-        let dram_exposed = (dram_max_busy as f64 * (1.0 - cfg.scheduler.latency_hiding())) as u64;
+        self.memory = memory;
 
-        // Restore memory so callers can inspect results and relaunch.
-        self.memory = std::mem::take(&mut shared.memory);
-
-        let lane_profile = if shared.lane_samples == 0 {
-            [0.0; 32]
-        } else {
-            let denom = (shared.lane_samples * 31) as f64;
-            core::array::from_fn(|i| shared.lane_sums[i] as f64 / denom)
-        };
-        let optimal_lane = lane_profile
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-
-        let utilization = self.utilization(&shared, &prog, lc, concurrent_ctas, warps_per_cta);
+        let resident_warps = u64::from(concurrent_ctas.min(lc.grid_ctas) * warps_per_cta);
+        let reg_bytes_used = resident_warps * u64::from(prog.regs_per_thread) * 32 * 4;
+        let reg_utilization = clamp01(reg_bytes_used as f64 / f64::from(cfg.reg_bytes_per_sm));
+        let sme_utilization = clamp01(
+            (u64::from(concurrent_ctas) * u64::from(prog.shared_words) * 4) as f64
+                / f64::from(cfg.smem_bytes_per_sm),
+        );
+        let touched_lines: [Vec<u64>; 9] = core::array::from_fn(|u| {
+            let mut v: Vec<u64> = shared.touched[u].iter().copied().collect();
+            v.sort_unstable();
+            v
+        });
 
         shared.rec.end(launch_span);
         let profile = PhaseProfile::from_recorder(&shared.rec, &shared.m);
         shared.rec.flush();
 
         self.last_log = shared.collector.take_log();
-        TraceSummary {
+        LaunchShard {
             views: shared.collector.finish(),
-            cycles: max_cycles + shared.smem_conflict_cycles + dram_exposed,
+            max_core_cycles,
             dynamic_instructions: total_issues,
-            l1d_hit_rate: ratio(l1d_hits_total, l1d_accesses_total),
-            l2_hit_rate: ratio(l2_hits, l2_total),
+            l1d_hits,
+            l1d_accesses,
+            l2_hits,
+            l2_accesses,
             narrow: shared.narrow,
             data_bits: shared.data_bits,
-            lane_profile,
-            optimal_lane,
-            utilization,
-            smem_conflict_cycles: shared.smem_conflict_cycles,
-            dram: dram_stats,
+            lane_sums: shared.lane_sums,
+            lane_samples: shared.lane_samples,
+            touched_lines,
+            smem_conflict_cycles,
+            dram_log: shared.dram_log,
+            reg_utilization,
+            sme_utilization,
             profile,
         }
     }
@@ -941,60 +1268,6 @@ impl Gpu {
                 StepResult::Exited => sm.scheduler.on_finish(wi),
             }
         }
-    }
-
-    fn utilization(
-        &self,
-        shared: &SharedState,
-        prog: &FlatProgram,
-        lc: LaunchConfig,
-        concurrent_ctas: u32,
-        warps_per_cta: u32,
-    ) -> BTreeMap<Unit, f64> {
-        let cfg = &self.config;
-        let mut u = BTreeMap::new();
-        let resident_warps = u64::from(concurrent_ctas.min(lc.grid_ctas) * warps_per_cta);
-        let reg_bytes_used = resident_warps * u64::from(prog.regs_per_thread) * 32 * 4;
-        u.insert(
-            Unit::Reg,
-            clamp01(reg_bytes_used as f64 / f64::from(cfg.reg_bytes_per_sm)),
-        );
-        u.insert(
-            Unit::Sme,
-            clamp01(
-                (u64::from(concurrent_ctas) * u64::from(prog.shared_words) * 4) as f64
-                    / f64::from(cfg.smem_bytes_per_sm),
-            ),
-        );
-        let lines = |unit: Unit| -> u64 { shared.touched[unit as usize].len() as u64 };
-        let line_bytes = u64::from(cfg.l2_bank.line_bytes());
-        // L1 caches are per SM; touched lines are aggregated across SMs, so
-        // compare against the per-SM capacity times the SM count.
-        let sms = u64::from(cfg.sms);
-        u.insert(
-            Unit::L1d,
-            clamp01((lines(Unit::L1d) * line_bytes) as f64 / (cfg.l1d.bytes() * sms) as f64),
-        );
-        u.insert(
-            Unit::L1i,
-            clamp01((lines(Unit::L1i) * line_bytes) as f64 / (cfg.l1i.bytes() * sms) as f64),
-        );
-        u.insert(
-            Unit::L1c,
-            clamp01((lines(Unit::L1c) * line_bytes) as f64 / (cfg.l1c.bytes() * sms) as f64),
-        );
-        u.insert(
-            Unit::L1t,
-            clamp01((lines(Unit::L1t) * line_bytes) as f64 / (cfg.l1t.bytes() * sms) as f64),
-        );
-        u.insert(
-            Unit::L2,
-            clamp01(
-                (lines(Unit::L2) * line_bytes) as f64
-                    / (cfg.l2_bank.bytes() * u64::from(cfg.l2_banks)) as f64,
-            ),
-        );
-        u
     }
 }
 
@@ -1428,6 +1701,147 @@ mod tests {
         assert_eq!(
             sink.timer_value(step).1,
             summary.dynamic_instructions + again.dynamic_instructions
+        );
+    }
+
+    /// A kernel whose odd CTAs hammer one shared-memory bank (32-way
+    /// conflicts) while even CTAs access conflict-free — with even CTAs
+    /// also carrying `pad` extra compute so they own the critical path.
+    fn skewed_smem_kernel(conflict_odd: bool, pad: u32) -> Kernel {
+        let mut k = Kernel::new("smem_skew", 6);
+        k.shared_words = 1024;
+        k.body.push(Stmt::op3(
+            Op::Mov,
+            0,
+            Operand::Special(Special::TidX),
+            Operand::Imm(0),
+        ));
+        // Conflicting index: TidX * 32 lands every lane in bank 0.
+        k.body
+            .push(Stmt::op3(Op::IMul, 1, Operand::Reg(0), Operand::Imm(32)));
+        k.body.push(Stmt::If {
+            cond: Cond {
+                a: Operand::Special(Special::CtaIdX),
+                op: CmpOp::Ge,
+                b: Operand::Imm(1),
+            },
+            // CTA 1 → SM 1 (sms = 2): one shared store, conflicting or not.
+            then: vec![Stmt::op4(
+                Op::StShared,
+                0,
+                if conflict_odd {
+                    Operand::Reg(1)
+                } else {
+                    Operand::Reg(0)
+                },
+                Operand::Imm(0),
+                Operand::Reg(0),
+            )],
+            // CTA 0 → SM 0: the same store, never conflicting, plus padding
+            // compute that makes SM 0 the critical SM by a wide margin.
+            els: vec![
+                Stmt::op4(
+                    Op::StShared,
+                    0,
+                    Operand::Reg(0),
+                    Operand::Imm(0),
+                    Operand::Reg(0),
+                ),
+                Stmt::For {
+                    n: pad,
+                    body: vec![Stmt::op3(Op::IAdd, 2, Operand::Reg(2), Operand::Imm(1))],
+                },
+            ],
+        });
+        k
+    }
+
+    /// Satellite regression: shared-memory conflict cycles are attributed
+    /// to the SM that suffers them, *inside* the per-SM critical-path max —
+    /// conflicts on a non-critical SM must not lengthen the launch. (They
+    /// used to be pooled globally and added once atop the max.)
+    #[test]
+    fn smem_conflicts_on_a_non_critical_sm_do_not_lengthen_the_launch() {
+        let lc = LaunchConfig::new(2, 32);
+        let mut with_conflicts = small_gpu();
+        let conflicted = with_conflicts.launch(&skewed_smem_kernel(true, 200), lc);
+        let mut without = small_gpu();
+        let clean = without.launch(&skewed_smem_kernel(false, 200), lc);
+        // The conflicts are real and reported...
+        assert!(conflicted.smem_conflict_cycles > 0);
+        assert_eq!(clean.smem_conflict_cycles, 0);
+        // ...but SM 1's serialization hides under SM 0's longer path.
+        assert_eq!(conflicted.cycles, clean.cycles);
+    }
+
+    /// With no padding the conflicting SM *is* critical, and its
+    /// serialization penalty shows up in the cycle count — attribution
+    /// inside the max is not a free pass.
+    #[test]
+    fn smem_conflicts_on_the_critical_sm_lengthen_the_launch() {
+        let lc = LaunchConfig::new(2, 32);
+        let mut with_conflicts = small_gpu();
+        let conflicted = with_conflicts.launch(&skewed_smem_kernel(true, 0), lc);
+        let mut without = small_gpu();
+        let clean = without.launch(&skewed_smem_kernel(false, 0), lc);
+        assert!(conflicted.smem_conflict_cycles > 0);
+        assert_eq!(
+            conflicted.cycles,
+            clean.cycles + conflicted.smem_conflict_cycles,
+            "the critical SM pays its own conflict serialization"
+        );
+    }
+
+    /// Satellite regression: the stall model reads the L1D's own miss
+    /// counter (the shadow per-SM miss field used to drift from it). Two
+    /// kernels differing only in L1D locality must differ in core cycles
+    /// by exactly the stall formula over the miss-count difference.
+    #[test]
+    fn stall_cycles_come_from_the_l1d_miss_counter() {
+        // 4 loads from the same line vs 4 loads from distinct lines.
+        let build = |stride: u32| {
+            let mut k = Kernel::new("stall_pin", 8);
+            k.body.push(Stmt::op3(
+                Op::Mov,
+                0,
+                Operand::Special(Special::TidX),
+                Operand::Imm(0),
+            ));
+            for i in 0..4 {
+                k.body.push(Stmt::op3(
+                    Op::LdGlobal(BufferId(0)),
+                    1 + i as u8,
+                    Operand::Reg(0),
+                    Operand::Imm(i * stride),
+                ));
+            }
+            k
+        };
+        let lc = LaunchConfig::new(1, 32);
+        let mut cfg = GpuConfig::baseline();
+        cfg.sms = 1;
+        let run = |k: &Kernel| {
+            let mut gpu = Gpu::new(cfg.clone(), vec![CodingView::baseline()]);
+            gpu.memory_mut()
+                .add_buffer(BufferId(0), (0..1024u32).collect());
+            gpu.launch_shard(k, lc, 0, 1)
+        };
+        // Offsets 0,32,64,96 words: 4 distinct 128B lines per lane stream.
+        let cold = run(&build(32));
+        // Offsets all 0: one line, 3 of the 4 accesses hit.
+        let warm = run(&build(0));
+        assert_eq!(cold.l1d_accesses, warm.l1d_accesses);
+        let cold_misses = cold.l1d_accesses - cold.l1d_hits;
+        let warm_misses = warm.l1d_accesses - warm.l1d_hits;
+        assert!(cold_misses > warm_misses);
+        let stall = |misses: u64| {
+            (misses as f64 * f64::from(cfg.miss_latency) * (1.0 - cfg.scheduler.latency_hiding()))
+                as u64
+        };
+        assert_eq!(
+            cold.max_core_cycles - warm.max_core_cycles,
+            stall(cold_misses) - stall(warm_misses),
+            "core-cycle delta must equal the stall formula over the miss delta"
         );
     }
 }

@@ -330,6 +330,17 @@ impl UnitStats {
     }
 }
 
+impl core::ops::AddAssign for UnitStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.fills += rhs.fills;
+        self.read_bits += rhs.read_bits;
+        self.write_bits += rhs.write_bits;
+        self.fill_bits += rhs.fill_bits;
+    }
+}
+
 /// Statistics for one coding view across every unit plus the NoC.
 ///
 /// This is pure result data: the per-channel toggle scratch lives in the
@@ -383,6 +394,27 @@ impl ViewStats {
     /// Counters for a unit (zeroed if never touched).
     pub fn unit(&self, unit: Unit) -> UnitStats {
         self.units.get(&unit).copied().unwrap_or_default()
+    }
+
+    /// Accumulate another launch shard's statistics for the same view.
+    /// Unit counters, NoC toggles, and dummy-mov counts are associative
+    /// sums — and shard NoC channel sets are disjoint (channel ids embed
+    /// the SM id) — so merging shard views in any grouping reproduces the
+    /// unsharded totals exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two statistics belong to different coding views.
+    pub fn merge(&mut self, other: &ViewStats) {
+        assert_eq!(
+            self.view, other.view,
+            "merging statistics of different coding views"
+        );
+        for (&unit, &stats) in &other.units {
+            *self.units.entry(unit).or_default() += stats;
+        }
+        self.noc += other.noc;
+        self.dummy_movs += other.dummy_movs;
     }
 }
 

@@ -1,10 +1,13 @@
 //! Campaign throughput snapshot and regression gate for CI.
 //!
 //! Runs the full 58-app baseline campaign sequentially (best of three runs,
-//! to damp scheduler noise), writes the measurement to `BENCH_collector.json`
+//! to damp scheduler noise), then once more with `--shards auto` over the
+//! full worker pool, writes both measurements to `BENCH_collector.json`
 //! in the current directory, and — when `--baseline <file>` is given —
 //! fails with a non-zero exit if the measured sequential throughput drops
-//! below 90% of the committed baseline's `instructions_per_second`.
+//! below 90% of the committed baseline's `instructions_per_second`, or the
+//! sharded wall-clock throughput below 90% of its
+//! `shard_instructions_per_second` (when the baseline carries that key).
 //!
 //! ```text
 //! cargo run --release -p bvf-sim --example bench_snapshot -- \
@@ -16,7 +19,7 @@
 //! ordinary runner passes comfortably while a hot-path regression back to
 //! pre-bit-sliced collector throughput still fails the gate.
 
-use bvf_sim::{Campaign, Parallelism};
+use bvf_sim::{Campaign, CampaignOptions, Parallelism, ShardMode};
 
 /// Extract a numeric field from a flat JSON object without a JSON parser:
 /// finds `"name":` and reads the number that follows.
@@ -57,18 +60,42 @@ fn main() {
     let best = best.expect("at least one run");
     let ips = best.serial_instructions_per_second;
 
+    // One sharded pass over the same campaign: every app split across the
+    // pool, measured by wall-clock throughput. This is the tail-filling
+    // path the gate must keep honest alongside the sequential collector hot
+    // path. At least 2 shards even on a single-core runner, so the
+    // shard-and-merge machinery is always what this row measures.
+    let pool = Parallelism::Auto.workers(usize::MAX);
+    let sharded = Campaign::full_baseline_with_options(&CampaignOptions {
+        par: Parallelism::Auto,
+        shards: ShardMode::Fixed(u32::try_from(pool).unwrap_or(u32::MAX).max(2)),
+        ..CampaignOptions::default()
+    })
+    .run_report();
+    let shard_ips = sharded.instructions_per_second;
+    println!(
+        "sharded run: {:.3?} wall, {} shards/app, {:.0} instr/s wall-clock",
+        sharded.wall, sharded.shards, shard_ips
+    );
+
     let snapshot = format!(
         concat!(
             "{{\"record\":\"bench_collector\",",
             "\"apps\":{},",
             "\"total_instructions\":{},",
             "\"wall_ms\":{:.3},",
-            "\"instructions_per_second\":{:.0}}}\n"
+            "\"instructions_per_second\":{:.0},",
+            "\"shards\":{},",
+            "\"shard_wall_ms\":{:.3},",
+            "\"shard_instructions_per_second\":{:.0}}}\n"
         ),
         best.apps,
         best.total_instructions,
         best.wall.as_secs_f64() * 1e3,
         ips,
+        sharded.shards,
+        sharded.wall.as_secs_f64() * 1e3,
+        shard_ips,
     );
     std::fs::write("BENCH_collector.json", &snapshot).expect("write BENCH_collector.json");
     print!("wrote BENCH_collector.json: {snapshot}");
@@ -88,5 +115,21 @@ fn main() {
             std::process::exit(1);
         }
         println!("PASS: {ips:.0} instr/s >= {floor:.0}");
+        // Gate the sharded path only when the baseline knows about it, so
+        // an old baseline file does not fail a new binary.
+        if let Some(shard_baseline) = json_number(&text, "shard_instructions_per_second") {
+            let shard_floor = shard_baseline * 0.9;
+            println!(
+                "sharded baseline {shard_baseline:.0} instr/s, gate at {shard_floor:.0} (90%)"
+            );
+            if shard_ips < shard_floor {
+                eprintln!(
+                    "FAIL: sharded throughput {shard_ips:.0} instr/s regressed more than \
+                     10% below the committed baseline {shard_baseline:.0}"
+                );
+                std::process::exit(1);
+            }
+            println!("PASS: {shard_ips:.0} instr/s >= {shard_floor:.0} sharded");
+        }
     }
 }

@@ -5,6 +5,8 @@
 //! cargo run --release -p bvf-sim --bin reproduce -- quick           # smoke subset
 //! cargo run --release -p bvf-sim --bin reproduce -- --jobs 8        # worker count
 //! cargo run --release -p bvf-sim --bin reproduce -- --jobs 1        # sequential
+//! cargo run --release -p bvf-sim --bin reproduce -- --shards auto   # split each
+//!                                                   # app across the workers
 //! cargo run --release -p bvf-sim --bin reproduce -- --export DIR    # also write
 //!                                                   # one .csv + .json per exhibit
 //! cargo run --release -p bvf-sim --bin reproduce -- --progress      # heartbeat line
@@ -21,6 +23,11 @@
 //! worker pool — one worker per core unless `--jobs N` pins the count — and
 //! each prints a `campaign:` run report to stderr. The output of this binary
 //! is the source of `EXPERIMENTS.md`.
+//!
+//! `--shards N|auto` additionally splits every application into SM-range
+//! shards so the pool's tail fills with fractional apps instead of idling
+//! behind the longest one. Sharding is an execution detail: exhibits and
+//! scrubbed telemetry are bit-identical to an unsharded run.
 //!
 //! Observability flags never change what is computed: exhibit tables on
 //! stdout are bit-identical with and without them. `--progress` and
@@ -39,15 +46,19 @@ use std::sync::Arc;
 use bvf_circuit::ProcessNode;
 use bvf_gpu::{GpuConfig, SchedulerKind};
 use bvf_sim::figures::{ablation, circuit, energy, overhead, profile, sensitivity};
-use bvf_sim::{metrics, Campaign, CampaignOptions, Parallelism, ResultStore};
+use bvf_sim::{metrics, Campaign, CampaignOptions, Parallelism, ResultStore, ShardMode};
 use bvf_workloads::Application;
 
 const USAGE: &str =
-    "usage: reproduce [quick] [--jobs N] [--export DIR] [--metrics FILE] [--progress] [--profile]
-                 [--cache DIR] [--no-cache] [--cache-verify N] [--inject-panic APP]
+    "usage: reproduce [quick] [--jobs N] [--shards N|auto] [--export DIR] [--metrics FILE]
+                 [--progress] [--profile] [--cache DIR] [--no-cache] [--cache-verify N]
+                 [--inject-panic APP]
 
   quick           smoke subset (6 apps, 2 SMs) instead of the full 58-app run
   --jobs N        worker count (N >= 1; 1 = sequential)
+  --shards N|auto split each app into N SM-range shards (auto = one per
+                  worker, capped at the SM count) and merge deterministically;
+                  exhibits are bit-identical to an unsharded run
   --export DIR    also write one .csv + .json per exhibit into DIR
   --metrics FILE  append JSON-lines telemetry (app/campaign/exhibit records)
   --progress      live heartbeat line on stderr while campaigns run
@@ -66,6 +77,7 @@ const USAGE: &str =
 struct Args {
     quick: bool,
     par: Parallelism,
+    shards: ShardMode,
     export_dir: Option<String>,
     metrics_path: Option<String>,
     progress: bool,
@@ -80,6 +92,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         par: Parallelism::Auto,
+        shards: ShardMode::Off,
         export_dir: None,
         metrics_path: None,
         progress: false,
@@ -113,6 +126,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Parallelism::Sequential
                 } else {
                     Parallelism::Fixed(n)
+                };
+                i += 1;
+            }
+            "--shards" => {
+                let v = value_of(i, "--shards")?;
+                args.shards = if v == "auto" {
+                    ShardMode::Auto
+                } else {
+                    let n: u32 = v.parse().map_err(|_| {
+                        format!("--shards needs a positive integer or \"auto\", got {v:?}")
+                    })?;
+                    if n == 0 {
+                        return Err("--shards must be at least 1".to_string());
+                    }
+                    ShardMode::Fixed(n)
                 };
                 i += 1;
             }
@@ -247,6 +275,7 @@ fn main() {
         },
         store: store.clone(),
         fault: args.inject_panic.clone(),
+        shards: args.shards,
         ..CampaignOptions::default()
     };
     let mut telemetry = Telemetry::open(args.metrics_path.as_deref());

@@ -48,6 +48,40 @@ impl Parallelism {
     }
 }
 
+/// How a campaign splits each application's launch across workers.
+///
+/// With sharding on, the work queue holds `(app, shard)` items instead of
+/// whole applications: each shard simulates a contiguous SM range against
+/// its own isolated state and the campaign merges the pieces with
+/// [`bvf_gpu::merge_shards`] — bit-identical to the unsharded run, but the
+/// longest single work item (the fan-out's tail) shrinks by the shard
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// One work item per application (no intra-app sharding).
+    #[default]
+    Off,
+    /// `min(workers, SMs)` shards per application — enough to keep the
+    /// pool busy through the tail without cutting below one SM per shard.
+    Auto,
+    /// Exactly `n` shards per application (clamped to `1..=SMs`).
+    Fixed(u32),
+}
+
+impl ShardMode {
+    /// Resolve to a concrete per-application shard count for a pool of
+    /// `workers` over a GPU with `sms` SMs. A result of 1 means the
+    /// campaign runs the classic one-item-per-app queue.
+    pub fn count(self, workers: usize, sms: u32) -> u32 {
+        let cap = sms.max(1);
+        match self {
+            ShardMode::Off => 1,
+            ShardMode::Auto => u32::try_from(workers).unwrap_or(u32::MAX).clamp(1, cap),
+            ShardMode::Fixed(n) => n.clamp(1, cap),
+        }
+    }
+}
+
 /// Apply `f` to every item of `items` on a pool of scoped worker threads,
 /// returning outputs in input order regardless of completion order.
 ///
@@ -117,6 +151,9 @@ pub struct CampaignOptions {
     /// the campaign — never abort the run — which is exactly what the
     /// fault-isolation tests (and `reproduce --inject-panic`) assert.
     pub fault: Option<String>,
+    /// Intra-application sharding of the work queue (`reproduce --shards`).
+    /// Off by default; results are bit-identical either way.
+    pub shards: ShardMode,
 }
 
 impl Default for CampaignOptions {
@@ -128,6 +165,7 @@ impl Default for CampaignOptions {
             sink: MetricsSink::disabled(),
             store: None,
             fault: None,
+            shards: ShardMode::Off,
         }
     }
 }
@@ -137,6 +175,9 @@ impl Default for CampaignOptions {
 /// thread reads them at ~4 Hz.
 struct Progress {
     total: usize,
+    /// What a work item is called in the heartbeat: "apps" for the classic
+    /// queue, "shards" when intra-app sharding is on.
+    noun: &'static str,
     started: AtomicUsize,
     done: AtomicUsize,
     instructions: AtomicU64,
@@ -145,8 +186,13 @@ struct Progress {
 
 impl Progress {
     fn new(total: usize) -> Self {
+        Self::with_noun(total, "apps")
+    }
+
+    fn with_noun(total: usize, noun: &'static str) -> Self {
         Self {
             total,
+            noun,
             started: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             instructions: AtomicU64::new(0),
@@ -163,8 +209,9 @@ impl Progress {
         let queued = self.total.saturating_sub(started);
         let rate = instr as f64 / elapsed.as_secs_f64().max(1e-9);
         format!(
-            "[campaign] {done}/{} apps done, {busy} busy, {queued} queued, {:.1} M instr at {:.1} M/s",
+            "[campaign] {done}/{} {} done, {busy} busy, {queued} queued, {:.1} M instr at {:.1} M/s",
             self.total,
+            self.noun,
             instr as f64 / 1e6,
             rate / 1e6,
         )
@@ -228,8 +275,12 @@ pub struct AppResult {
     /// Simulator throughput: dynamic instructions per wall-clock second.
     pub instructions_per_second: f64,
     /// Whether the summary came from the result store instead of a fresh
-    /// simulation.
+    /// simulation (under sharding: every shard came from the store).
     pub cached: bool,
+    /// How many launch shards produced this summary (1 = unsharded). With
+    /// sharding, `wall` is the *sum* of the shard walls, so serial-wall
+    /// and speedup accounting stay comparable across shard counts.
+    pub shards: u32,
 }
 
 /// Equality ignores the timing fields and the cache provenance: two results
@@ -282,6 +333,12 @@ pub struct Campaign {
     pub wall: Duration,
     /// Worker count the run actually used.
     pub workers: usize,
+    /// Shards per application the work queue used (1 = unsharded).
+    pub shards: u32,
+    /// Wall time of the longest single work item — a whole application
+    /// unsharded, one shard under sharding. This is the fan-out's tail:
+    /// the quantity sharding exists to shrink.
+    pub max_item_wall: Duration,
     /// Application code -> index in `results`, for O(1) lookup.
     index: HashMap<&'static str, usize>,
 }
@@ -355,6 +412,13 @@ impl Campaign {
         assert!(!apps.is_empty(), "campaign needs at least one application");
         let isa_mask = Self::derive_isa_mask(opts.arch, apps);
         let views = CodingView::standard_set(isa_mask);
+        // Resolve the shard count against the pool the parallelism knob
+        // *would* deliver with no item cap (the item count depends on the
+        // shard count, so the cap cannot be applied first).
+        let shard_count = opts.shards.count(opts.par.workers(usize::MAX), config.sms);
+        if shard_count > 1 {
+            return Self::run_sharded(config, apps, opts, isa_mask, &views, shard_count);
+        }
         let workers = opts.par.workers(apps.len());
         let progress = Progress::new(apps.len());
         // Which hits this campaign double-checks against a fresh simulation
@@ -414,6 +478,7 @@ impl Campaign {
                         summary,
                         wall,
                         cached: true,
+                        shards: 1,
                     };
                 }
                 misses.fetch_add(1, Ordering::Relaxed);
@@ -449,6 +514,7 @@ impl Campaign {
             }
         }
         let index = Self::build_index(&results);
+        let max_item_wall = results.iter().map(|r| r.wall).max().unwrap_or_default();
         Self {
             config,
             arch: opts.arch,
@@ -460,8 +526,215 @@ impl Campaign {
             cache_verified: verified.into_inner(),
             wall,
             workers,
+            shards: 1,
+            max_item_wall,
             index,
         }
+    }
+
+    /// The sharded fan-out: the work queue holds one item per (application,
+    /// shard) pair, ordered longest-application-first so the schedule's tail
+    /// fills with small shards instead of idling behind one big app.
+    ///
+    /// Each completed shard streams into the result store under its own
+    /// sub-key (see [`ResultStore::shard_key`]) the moment it finishes, so
+    /// an interrupted campaign resumes *mid-application*; the merged
+    /// summary is additionally saved under the whole-application key, so a
+    /// later unsharded run hits too. Results and failures are assembled in
+    /// registry order — never worker completion order — with one failure
+    /// per application (its lowest-indexed failing shard's error).
+    fn run_sharded(
+        config: GpuConfig,
+        apps: &[Application],
+        opts: &CampaignOptions,
+        isa_mask: u64,
+        views: &[CodingView],
+        shard_count: u32,
+    ) -> Self {
+        // Longest-app-first queue of (app index, shard index) items.
+        let mut order: Vec<usize> = (0..apps.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(apps[i].work_estimate()));
+        let items: Vec<(usize, u32)> = order
+            .iter()
+            .flat_map(|&i| (0..shard_count).map(move |s| (i, s)))
+            .collect();
+        let workers = opts.par.workers(items.len());
+        let progress = Progress::with_noun(items.len(), "shards");
+        let verify = opts
+            .store
+            .as_deref()
+            .map(|s| s.verify_selection(items.len()))
+            .unwrap_or_default();
+        let hits = AtomicUsize::new(0);
+        let misses = AtomicUsize::new(0);
+        let verified = AtomicUsize::new(0);
+        let hit_ctr = opts.sink.counter("store.hit");
+        let miss_ctr = opts.sink.counter("store.miss");
+        let verify_ctr = opts.sink.counter("store.verify");
+        // Slot index alongside each item, for the verify selection.
+        let indexed: Vec<(usize, usize, u32)> = items
+            .iter()
+            .enumerate()
+            .map(|(j, &(i, s))| (j, i, s))
+            .collect();
+        let t0 = Instant::now();
+        type ShardPiece = (bvf_gpu::LaunchShard, Duration, bool);
+        let simulate = |&(j, i, s): &(usize, usize, u32)| -> Result<ShardPiece, String> {
+            let app = &apps[i];
+            progress.started.fetch_add(1, Ordering::Relaxed);
+            progress.busy.fetch_add(1, Ordering::Relaxed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if opts.fault.as_deref() == Some(app.code) {
+                    panic!("injected fault: worker asked to fail on {}", app.code);
+                }
+                let store_key = opts.store.as_deref().map(|_| {
+                    let app_key = ResultStore::key(&config, opts.arch, isa_mask, app.code);
+                    ResultStore::shard_key(app_key, s, shard_count)
+                });
+                if let (Some(store), Some(key)) = (opts.store.as_deref(), store_key) {
+                    let t_load = Instant::now();
+                    if let Some(shard) = store.load_shard(key, app.code, s, shard_count) {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        opts.sink.add(hit_ctr, 1);
+                        if verify.get(j).copied().unwrap_or(false) {
+                            let (fresh, _) = Self::simulate_one_shard(
+                                &config,
+                                views,
+                                opts.arch,
+                                &opts.sink,
+                                app,
+                                s,
+                                shard_count,
+                            );
+                            assert_eq!(
+                                fresh, shard,
+                                "cache verification failed for {} shard {s}/{shard_count}: the \
+                                 stored shard is not bit-identical to a fresh simulation — the \
+                                 simulator changed without a STORE_FORMAT_VERSION bump",
+                                app.code
+                            );
+                            verified.fetch_add(1, Ordering::Relaxed);
+                            opts.sink.add(verify_ctr, 1);
+                        }
+                        return (shard, t_load.elapsed(), true);
+                    }
+                }
+                misses.fetch_add(1, Ordering::Relaxed);
+                opts.sink.add(miss_ctr, 1);
+                let (shard, wall) = Self::simulate_one_shard(
+                    &config,
+                    views,
+                    opts.arch,
+                    &opts.sink,
+                    app,
+                    s,
+                    shard_count,
+                );
+                if let (Some(store), Some(key)) = (opts.store.as_deref(), store_key) {
+                    store.save_shard(key, app.code, s, shard_count, &shard);
+                }
+                (shard, wall, false)
+            }));
+            if let Ok((shard, _, _)) = &outcome {
+                progress
+                    .instructions
+                    .fetch_add(shard.dynamic_instructions, Ordering::Relaxed);
+            }
+            progress.busy.fetch_sub(1, Ordering::Relaxed);
+            progress.done.fetch_add(1, Ordering::Relaxed);
+            outcome.map_err(panic_message)
+        };
+        let outcomes = if opts.progress {
+            with_heartbeat(&progress, || parallel_map(&indexed, opts.par, simulate))
+        } else {
+            parallel_map(&indexed, opts.par, simulate)
+        };
+        let wall = t0.elapsed();
+
+        // Regroup the shard outcomes per application. `parallel_map`
+        // returned them in *queue* order (longest-app-first); assembly
+        // walks the registry order, so results and failures never depend
+        // on either the queue permutation or worker completion order.
+        let mut per_app: Vec<Vec<(u32, Result<ShardPiece, String>)>> =
+            (0..apps.len()).map(|_| Vec::new()).collect();
+        for (&(_, i, s), outcome) in indexed.iter().zip(outcomes) {
+            per_app[i].push((s, outcome));
+        }
+        let mut results = Vec::with_capacity(apps.len());
+        let mut failures = Vec::new();
+        let mut max_item_wall = Duration::ZERO;
+        for (app, mut pieces) in apps.iter().zip(per_app) {
+            pieces.sort_by_key(|&(s, _)| s);
+            if let Some((_, Err(error))) = pieces.iter().find(|(_, o)| o.is_err()) {
+                failures.push(AppFailure {
+                    app: app.code,
+                    error: error.clone(),
+                });
+                continue;
+            }
+            let mut shards = Vec::with_capacity(pieces.len());
+            let mut app_wall = Duration::ZERO;
+            let mut cached = true;
+            for (_, piece) in pieces {
+                let (shard, shard_wall, shard_cached) = piece.expect("errors handled above");
+                max_item_wall = max_item_wall.max(shard_wall);
+                app_wall += shard_wall;
+                cached &= shard_cached;
+                shards.push(shard);
+            }
+            let summary = bvf_gpu::merge_shards(&config, &shards);
+            if !cached {
+                if let Some(store) = opts.store.as_deref() {
+                    let app_key = ResultStore::key(&config, opts.arch, isa_mask, app.code);
+                    store.save(app_key, app.code, &summary);
+                }
+            }
+            results.push(AppResult {
+                app: app.clone(),
+                instructions_per_second: summary.dynamic_instructions as f64
+                    / app_wall.as_secs_f64().max(1e-9),
+                summary,
+                wall: app_wall,
+                cached,
+                shards: shard_count,
+            });
+        }
+        let index = Self::build_index(&results);
+        Self {
+            config,
+            arch: opts.arch,
+            isa_mask,
+            results,
+            failures,
+            cache_hits: hits.into_inner(),
+            cache_misses: misses.into_inner(),
+            cache_verified: verified.into_inner(),
+            wall,
+            workers,
+            shards: shard_count,
+            max_item_wall,
+            index,
+        }
+    }
+
+    /// Simulate one launch shard of one application on a fresh GPU,
+    /// timing it.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_one_shard(
+        config: &GpuConfig,
+        views: &[CodingView],
+        arch: Architecture,
+        sink: &MetricsSink,
+        app: &Application,
+        index: u32,
+        count: u32,
+    ) -> (bvf_gpu::LaunchShard, Duration) {
+        let t0 = Instant::now();
+        let mut gpu = Gpu::new(config.clone(), views.to_vec());
+        gpu.set_architecture(arch);
+        gpu.set_metrics(sink.clone());
+        let shard = app.run_shard(&mut gpu, index, count);
+        (shard, t0.elapsed())
     }
 
     /// Simulate one application on a fresh GPU, timing it.
@@ -486,6 +759,7 @@ impl Campaign {
             wall,
             instructions_per_second,
             cached: false,
+            shards: 1,
         }
     }
 
@@ -587,6 +861,8 @@ impl Campaign {
             cache_misses: self.cache_misses,
             cache_verified: self.cache_verified,
             workers: self.workers,
+            shards: self.shards,
+            max_item_wall: self.max_item_wall,
             wall: self.wall,
             serial_wall: serial,
             speedup: serial.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
@@ -660,6 +936,13 @@ pub struct RunReport {
     pub cache_verified: usize,
     /// Worker threads used.
     pub workers: usize,
+    /// Shards per application (1 = unsharded queue).
+    pub shards: u32,
+    /// Longest single work item's wall time — a whole application when
+    /// unsharded, one shard under sharding. The fan-out can never finish
+    /// faster than this, so it is the tail-latency number the
+    /// `--shards` knob exists to shrink.
+    pub max_item_wall: Duration,
     /// Wall-clock time of the whole fan-out.
     pub wall: Duration,
     /// Sum of per-application wall times (≈ one-worker wall time).
@@ -696,6 +979,13 @@ impl core::fmt::Display for RunReport {
             self.wall,
             self.instructions_per_second / 1e6,
         )?;
+        if self.shards > 1 {
+            writeln!(
+                f,
+                "  sharded {} per app, longest work item {:.3?}",
+                self.shards, self.max_item_wall,
+            )?;
+        }
         writeln!(
             f,
             "  serial estimate {:.3?}, speedup {:.2}x, {:.1} M instr/s per worker",
@@ -1107,6 +1397,173 @@ mod tests {
         assert_eq!(sink.counter_value(sink.counter("store.miss")), 6);
         assert_eq!(sink.counter_value(sink.counter("store.verify")), 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_mode_resolves_to_sane_counts() {
+        assert_eq!(ShardMode::Off.count(8, 16), 1);
+        assert_eq!(ShardMode::Auto.count(8, 16), 8, "min(workers, sms)");
+        assert_eq!(ShardMode::Auto.count(32, 16), 16, "capped at sms");
+        assert_eq!(ShardMode::Auto.count(1, 16), 1, "sequential pool");
+        assert_eq!(ShardMode::Fixed(4).count(1, 16), 4);
+        assert_eq!(ShardMode::Fixed(0).count(8, 16), 1, "clamped up");
+        assert_eq!(ShardMode::Fixed(99).count(8, 2), 2, "clamped to sms");
+    }
+
+    #[test]
+    fn sharded_campaigns_are_bit_identical_to_unsharded() {
+        let plain = Campaign::smoke();
+        // The smoke GPU has 2 SMs: 2 shards per app, at several worker
+        // counts (including one worker handling every shard itself).
+        for workers in [1usize, 3, 7] {
+            let sharded = Campaign::smoke_with_options(&CampaignOptions {
+                par: Parallelism::Fixed(workers),
+                shards: ShardMode::Fixed(2),
+                ..CampaignOptions::default()
+            });
+            assert_eq!(sharded.shards, 2);
+            assert!(sharded.results.iter().all(|r| r.shards == 2));
+            assert_eq!(plain, sharded, "sharded run diverged at {workers} workers");
+        }
+        // Auto resolves against the pool and stays bit-identical too.
+        let auto = Campaign::smoke_with_options(&CampaignOptions {
+            par: Parallelism::Fixed(4),
+            shards: ShardMode::Auto,
+            ..CampaignOptions::default()
+        });
+        assert_eq!(auto.shards, 2, "min(4 workers, 2 sms)");
+        assert_eq!(plain, auto);
+    }
+
+    #[test]
+    fn sharded_campaign_streams_shards_into_the_store_and_resumes_mid_app() {
+        let dir = temp_store("shard_resume");
+        let store = Arc::new(ResultStore::open(&dir).expect("open store"));
+        let opts = |store| CampaignOptions {
+            par: Parallelism::Fixed(2),
+            shards: ShardMode::Fixed(2),
+            store,
+            ..CampaignOptions::default()
+        };
+        let cold = Campaign::smoke_with_options(&opts(Some(Arc::clone(&store))));
+        assert_eq!(
+            (cold.cache_hits, cold.cache_misses),
+            (0, 12),
+            "6 apps x 2 shards"
+        );
+        assert!(cold.results.iter().all(|r| !r.cached));
+
+        // Simulate an interrupted campaign: drop SOME of the shard entries
+        // (every app's shard 1, plus both of VAD's) — as if the run died
+        // mid-flight. The re-run must complete warm from the surviving
+        // sub-keys, re-simulating only what is missing.
+        for r in &cold.results {
+            let app_key = ResultStore::key(&cold.config, cold.arch, cold.isa_mask, r.app.code);
+            let dropped = if r.app.code == "VAD" {
+                vec![0, 1]
+            } else {
+                vec![1]
+            };
+            for s in dropped {
+                let skey = ResultStore::shard_key(app_key, s, 2);
+                let path = store
+                    .root()
+                    .join(format!("{:02x}", skey >> 56))
+                    .join(format!("{skey:016x}.bvfs"));
+                std::fs::remove_file(&path).expect("drop shard entry");
+            }
+        }
+        let store = Arc::new(ResultStore::open(&dir).expect("reopen store"));
+        let resumed = Campaign::smoke_with_options(&opts(Some(Arc::clone(&store))));
+        assert_eq!(
+            (resumed.cache_hits, resumed.cache_misses),
+            (5, 7),
+            "5 surviving shards hit; 7 dropped ones re-simulate"
+        );
+        assert_eq!(cold, resumed, "resume must be bit-identical");
+        // Apps with any fresh shard are not `cached`; fully-warm re-run is.
+        assert!(resumed.results.iter().all(|r| !r.cached));
+        let warm = Campaign::smoke_with_options(&opts(Some(store)));
+        assert_eq!((warm.cache_hits, warm.cache_misses), (12, 0));
+        assert!(warm.results.iter().all(|r| r.cached));
+        assert_eq!(cold, warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_campaign_saves_the_merged_summary_for_unsharded_runs() {
+        let dir = temp_store("shard_to_whole");
+        let store = Arc::new(ResultStore::open(&dir).expect("open store"));
+        let sharded = Campaign::smoke_with_options(&CampaignOptions {
+            shards: ShardMode::Fixed(2),
+            store: Some(Arc::clone(&store)),
+            ..CampaignOptions::default()
+        });
+        // A subsequent UNSHARDED campaign hits the whole-app keys the
+        // sharded run saved after merging.
+        let unsharded = Campaign::smoke_with_options(&store_opts(&store));
+        assert_eq!((unsharded.cache_hits, unsharded.cache_misses), (6, 0));
+        assert_eq!(sharded, unsharded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_failures_collapse_to_one_per_app_in_registry_order() {
+        // Fail BFS: both of its shards panic, but the campaign must report
+        // exactly one failure, in registry position, regardless of worker
+        // count or the longest-first queue permutation.
+        for workers in [1usize, 4] {
+            let c = Campaign::smoke_with_options(&CampaignOptions {
+                par: Parallelism::Fixed(workers),
+                shards: ShardMode::Fixed(2),
+                fault: Some("BFS".to_string()),
+                ..CampaignOptions::default()
+            });
+            assert_eq!(c.results.len(), 5, "every other app still completes");
+            assert_eq!(c.failures.len(), 1, "one failure per failed app");
+            assert_eq!(c.failures[0].app, "BFS");
+            assert!(c.failures[0].error.contains("injected fault"));
+            assert!(c.try_result("BFS").is_none());
+            // And the failing sharded campaign equals the failing
+            // unsharded one — failures included.
+            let plain = Campaign::smoke_with_options(&CampaignOptions {
+                par: Parallelism::Fixed(workers),
+                fault: Some("BFS".to_string()),
+                ..CampaignOptions::default()
+            });
+            assert_eq!(plain, c);
+        }
+    }
+
+    #[test]
+    fn sharded_run_report_exposes_the_shorter_tail() {
+        let c = Campaign::smoke_with_options(&CampaignOptions {
+            par: Parallelism::Fixed(2),
+            shards: ShardMode::Fixed(2),
+            ..CampaignOptions::default()
+        });
+        let r = c.run_report();
+        assert_eq!(r.shards, 2);
+        assert!(r.max_item_wall > Duration::ZERO);
+        assert!(
+            r.max_item_wall <= r.max_app_wall,
+            "one shard can never outlast its whole app"
+        );
+        assert!(format!("{r}").contains("sharded 2 per app"));
+        let plain = Campaign::smoke_with(Parallelism::Fixed(2)).run_report();
+        assert_eq!(plain.shards, 1);
+        assert_eq!(plain.max_item_wall, plain.max_app_wall);
+    }
+
+    #[test]
+    fn heartbeat_line_counts_shards_when_sharding() {
+        let p = Progress::with_noun(12, "shards");
+        p.started.store(9, Ordering::Relaxed);
+        p.done.store(6, Ordering::Relaxed);
+        p.busy.store(3, Ordering::Relaxed);
+        let line = p.line(Duration::from_secs(1));
+        assert!(line.contains("6/12 shards done"));
+        assert!(line.contains("3 queued"));
     }
 
     #[test]

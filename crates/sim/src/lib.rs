@@ -36,6 +36,7 @@ pub mod table;
 
 pub use campaign::{
     parallel_map, AppFailure, AppResult, Campaign, CampaignOptions, Parallelism, RunReport,
+    ShardMode,
 };
 pub use store::{ResultStore, STORE_FORMAT_VERSION};
 pub use table::Table;

@@ -9,11 +9,12 @@
 //! - `"exhibit"` — one per rendered paper table.
 //!
 //! **Every run-dependent field lives under the `"timing"` key.** Wall
-//! times, throughputs, worker counts, and phase profiles vary run to run;
-//! everything else (counters, rates, exhibit tables) is a pure function of
-//! the simulated workload. Scrubbing `"timing"` from two telemetry streams
-//! must therefore leave byte-identical lines whatever `--jobs` was — the
-//! determinism test in `reproduce.rs` holds the simulator to exactly that.
+//! times, throughputs, worker counts, shard counts, and phase profiles vary
+//! run to run; everything else (counters, rates, exhibit tables) is a pure
+//! function of the simulated workload. Scrubbing `"timing"` from two
+//! telemetry streams must therefore leave byte-identical lines whatever
+//! `--jobs` or `--shards` was — the determinism test in `reproduce.rs`
+//! holds the simulator to exactly that.
 
 use bvf_obs::jsonl::Record;
 
@@ -31,6 +32,7 @@ pub fn app_record(campaign: &str, r: &AppResult) -> String {
         .u64("wall_ns", r.wall.as_nanos() as u64)
         .f64("instructions_per_second", r.instructions_per_second)
         .bool("cached", r.cached)
+        .u64("shards", u64::from(r.shards))
         .finish();
     Record::new("app")
         .str("campaign", campaign)
@@ -61,7 +63,9 @@ pub fn campaign_record(label: &str, c: &Campaign) -> String {
         .u64("min_app_wall_ns", report.min_app_wall.as_nanos() as u64)
         .u64("mean_app_wall_ns", report.mean_app_wall.as_nanos() as u64)
         .u64("max_app_wall_ns", report.max_app_wall.as_nanos() as u64)
-        .f64("instructions_per_second", report.instructions_per_second);
+        .f64("instructions_per_second", report.instructions_per_second)
+        .u64("shards", u64::from(report.shards))
+        .u64("max_item_wall_ns", report.max_item_wall.as_nanos() as u64);
     if let Some((code, wall)) = report.slowest {
         timing = timing
             .str("slowest_app", code)
@@ -209,6 +213,66 @@ mod tests {
             a.get("timing").expect("timing").get("cached"),
             Some(&json::Value::Bool(false))
         );
+    }
+
+    #[test]
+    fn scrubbed_records_are_shard_count_invariant() {
+        use crate::campaign::ShardMode;
+        let run = |shards| {
+            let mut config = GpuConfig::baseline();
+            config.sms = 2;
+            let apps: Vec<Application> = ["VAD", "SGE"]
+                .iter()
+                .map(|c| Application::by_code(c).expect("app"))
+                .collect();
+            Campaign::run_with_options(
+                config,
+                &apps,
+                &CampaignOptions {
+                    par: Parallelism::Fixed(2),
+                    shards,
+                    ..CampaignOptions::default()
+                },
+            )
+        };
+        let plain = run(ShardMode::Off);
+        let sharded = run(ShardMode::Fixed(2));
+        // The shard count is visible under "timing"...
+        let v = json::parse(&campaign_record("main", &sharded)).expect("valid JSON");
+        let timing = v.get("timing").expect("timing object");
+        assert_eq!(
+            timing.get("shards").and_then(json::Value::as_f64),
+            Some(2.0)
+        );
+        assert!(timing.get("max_item_wall_ns").is_some());
+        let a = json::parse(&app_record("main", &sharded.results[0])).expect("valid JSON");
+        assert_eq!(
+            a.get("timing")
+                .expect("timing")
+                .get("shards")
+                .and_then(json::Value::as_f64),
+            Some(2.0)
+        );
+        // ...and ONLY under "timing": scrubbed records cannot tell how the
+        // work was split.
+        for (p, s) in [
+            (
+                campaign_record("main", &plain),
+                campaign_record("main", &sharded),
+            ),
+            (
+                app_record("main", &plain.results[1]),
+                app_record("main", &sharded.results[1]),
+            ),
+        ] {
+            let scrub = |line: &str| {
+                json::parse(line)
+                    .expect("valid JSON")
+                    .without("timing")
+                    .to_json_string()
+            };
+            assert_eq!(scrub(&p), scrub(&s));
+        }
     }
 
     #[test]

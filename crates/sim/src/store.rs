@@ -28,14 +28,20 @@
 
 use std::path::Path;
 
-use bvf_gpu::{GpuConfig, TraceSummary};
+use bvf_gpu::{GpuConfig, LaunchShard, TraceSummary};
 use bvf_isa::Architecture;
-use bvf_store::{fnv1a, DiskStore, Persist, Reader, StoreStats, Writer};
+use bvf_store::{fnv1a, subkey, DiskStore, Persist, Reader, StoreStats, Writer};
 
 /// Version of the key/payload format. Bump on ANY change to the simulated
 /// counters, the key preimage, or a persisted type's layout: old entries
 /// then re-key to misses instead of serving stale or misparsed results.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+///
+/// v2: per-SM isolation inside `Gpu::launch_shard` (fresh L2 slice,
+/// memory image, and sampling phase per SM), per-(SM, bank) NoC reply
+/// channels, and the launch-global DRAM drain moving into `merge_shards`
+/// (shards log their off-chip traffic; the merge replays it) changed
+/// several simulated counters; shard sub-keys were added alongside.
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// A content-addressed store of per-application simulation results.
 ///
@@ -104,6 +110,53 @@ impl ResultStore {
         let mut w = Writer::new();
         w.str(app_code);
         summary.persist(&mut w);
+        let _ = self.disk.save(key, w.bytes());
+    }
+
+    /// The content address for shard `index` of `count` of the app whose
+    /// whole-result key is `app_key`. Derived with [`bvf_store::subkey`],
+    /// so sub-keyspaces for different shard counts are disjoint and never
+    /// alias a whole-app key.
+    pub fn shard_key(app_key: u64, index: u32, count: u32) -> u64 {
+        subkey(app_key, u64::from(index), u64::from(count))
+    }
+
+    /// Load a cached launch shard, or `None` on any miss. The echo check
+    /// covers the app code *and* the shard coordinates, so a hand-moved or
+    /// colliding entry can never be served as the wrong shard.
+    pub fn load_shard(
+        &self,
+        key: u64,
+        app_code: &str,
+        index: u32,
+        count: u32,
+    ) -> Option<LaunchShard> {
+        let payload = self.disk.load(key)?;
+        let mut r = Reader::new(&payload);
+        let echo = r.str().ok()?;
+        if echo != app_code || r.u32().ok()? != index || r.u32().ok()? != count {
+            return None;
+        }
+        let shard = LaunchShard::restore(&mut r).ok()?;
+        r.finish().ok()?;
+        Some(shard)
+    }
+
+    /// Store one launch shard under `key`. Write failures are swallowed,
+    /// like [`ResultStore::save`].
+    pub fn save_shard(
+        &self,
+        key: u64,
+        app_code: &str,
+        index: u32,
+        count: u32,
+        shard: &LaunchShard,
+    ) {
+        let mut w = Writer::new();
+        w.str(app_code);
+        w.u32(index);
+        w.u32(count);
+        shard.persist(&mut w);
         let _ = self.disk.save(key, w.bytes());
     }
 
@@ -217,6 +270,27 @@ mod tests {
         // No sampling configured: nothing is selected.
         let none = ResultStore::open(temp_dir("verify_none")).expect("open");
         assert_eq!(none.verify_selection(5), vec![false; 5]);
+    }
+
+    #[test]
+    fn shard_entries_round_trip_and_guard_their_coordinates() {
+        let store = ResultStore::open(temp_dir("shard")).expect("open");
+        let app = bvf_workloads::Application::by_code("VAD").expect("app");
+        let mut config = GpuConfig::baseline();
+        config.sms = 2;
+        let mut gpu = bvf_gpu::Gpu::new(config.clone(), vec![bvf_gpu::CodingView::baseline()]);
+        let shard = app.run_shard(&mut gpu, 1, 2);
+        let app_key = ResultStore::key(&config, Architecture::Pascal, 0, "VAD");
+        let key = ResultStore::shard_key(app_key, 1, 2);
+        assert_ne!(key, app_key);
+        assert_ne!(key, ResultStore::shard_key(app_key, 0, 2));
+        assert_ne!(key, ResultStore::shard_key(app_key, 1, 4));
+        store.save_shard(key, "VAD", 1, 2, &shard);
+        assert_eq!(store.load_shard(key, "VAD", 1, 2), Some(shard));
+        // Wrong coordinates or app code: the echo check rejects the entry.
+        assert!(store.load_shard(key, "VAD", 0, 2).is_none());
+        assert!(store.load_shard(key, "VAD", 1, 4).is_none());
+        assert!(store.load_shard(key, "BFS", 1, 2).is_none());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Application descriptors: kernel template + data profiles + launch shape.
 
-use bvf_gpu::{Gpu, TraceSummary};
+use bvf_gpu::{Gpu, LaunchShard, TraceSummary};
 use bvf_isa::ir::{BufferId, Kernel, LaunchConfig};
 use serde::{Deserialize, Serialize};
 
@@ -238,6 +238,22 @@ impl Application {
         self.prepare(gpu);
         gpu.launch(&self.kernel(), self.launch_config())
     }
+
+    /// Prepare buffers and run one contiguous SM-range shard of the launch
+    /// (shard `index` of `count`). Merging every shard's result with
+    /// [`bvf_gpu::merge_shards`] is bit-identical to [`Application::run`].
+    pub fn run_shard(&self, gpu: &mut Gpu, index: u32, count: u32) -> LaunchShard {
+        self.prepare(gpu);
+        gpu.launch_shard(&self.kernel(), self.launch_config(), index, count)
+    }
+
+    /// Rough per-app work estimate for longest-first shard scheduling:
+    /// threads launched times problem words. Only the *ordering* between
+    /// apps matters, so a coarse static proxy is enough.
+    pub fn work_estimate(&self) -> u64 {
+        let lc = self.launch_config();
+        u64::from(lc.grid_ctas) * u64::from(lc.cta_threads) * self.problem_words() as u64
+    }
 }
 
 impl core::fmt::Display for Application {
@@ -292,6 +308,36 @@ mod tests {
                 "{code} must be compute-intensive per Fig. 18"
             );
         }
+    }
+
+    #[test]
+    fn sharded_apps_merge_to_the_sequential_summary() {
+        let mut cfg = GpuConfig::baseline();
+        cfg.sms = 4;
+        // RED reduces 32 CTA partials into one output line; HST bounces
+        // shared-memory conflicts — both are the worst case for any
+        // cross-shard state leak.
+        for code in ["VAD", "RED", "HST"] {
+            let app = Application::by_code(code).unwrap_or_else(|| panic!("missing {code}"));
+            let mut gpu = Gpu::new(cfg.clone(), vec![CodingView::baseline()]);
+            let sequential = app.run(&mut gpu);
+            for count in [1u32, 2, 3, 4] {
+                let mut shards = Vec::new();
+                for index in 0..count {
+                    let mut gpu = Gpu::new(cfg.clone(), vec![CodingView::baseline()]);
+                    shards.push(app.run_shard(&mut gpu, index, count));
+                }
+                let merged = bvf_gpu::merge_shards(&cfg, &shards);
+                assert_eq!(merged, sequential, "{code} diverged at {count} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn work_estimate_orders_memory_intensive_apps_first() {
+        let mem = Application::by_code("BFS").unwrap();
+        let comp = Application::by_code("SGE").unwrap();
+        assert!(mem.work_estimate() > comp.work_estimate());
     }
 
     #[test]
