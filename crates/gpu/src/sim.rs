@@ -13,7 +13,7 @@ use bvf_bits::{BitCounts, NarrowValueProfile};
 use bvf_core::Unit;
 use bvf_isa::ir::{BufferId, Kernel, LaunchConfig, Op};
 use bvf_isa::Architecture;
-use bvf_obs::{MetricsSink, Recorder};
+use bvf_obs::{MetricsSink, Recorder, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{Access, Cache};
@@ -923,6 +923,10 @@ pub struct Gpu {
     trace_logging: bool,
     last_log: Option<crate::trace::TraceLog>,
     metrics: MetricsSink,
+    tracer: TraceSink,
+    trace_scope: String,
+    trace_tid: u32,
+    launch_seq: u32,
 }
 
 impl Gpu {
@@ -941,6 +945,10 @@ impl Gpu {
             trace_logging: false,
             last_log: None,
             metrics: MetricsSink::disabled(),
+            tracer: TraceSink::disabled(),
+            trace_scope: String::new(),
+            trace_tid: 0,
+            launch_seq: 0,
         }
     }
 
@@ -950,6 +958,19 @@ impl Gpu {
     /// profiling never changes simulation results.
     pub fn set_metrics(&mut self, sink: MetricsSink) {
         self.metrics = sink;
+    }
+
+    /// Install a trace sink and the causal scope subsequent launches
+    /// record under. Each launch closes a `launch:<n>` span (numbered
+    /// from 0 within the scope, so ids stay a pure function of the work
+    /// graph) with its phase self-times as child spans, on display lane
+    /// `tid`. The default sink is disabled: no clock reads, no
+    /// allocation, no events.
+    pub fn set_tracer(&mut self, sink: TraceSink, scope: String, tid: u32) {
+        self.tracer = sink;
+        self.trace_scope = scope;
+        self.trace_tid = tid;
+        self.launch_seq = 0;
     }
 
     /// Record the full raw event stream of subsequent launches (the
@@ -1043,6 +1064,13 @@ impl Gpu {
         let m = SimMetrics::register(&self.metrics);
         let rec = self.metrics.recorder();
         let launch_span = rec.begin(m.launch);
+        // Trace recorder for this launch, created up front so its Drop
+        // flushes whatever was recorded even if the simulation panics.
+        let mut trace_rec = self
+            .tracer
+            .is_enabled()
+            .then(|| self.tracer.recorder(self.trace_tid));
+        let trace_t0 = trace_rec.as_ref().map_or(0, |t| t.now_ns());
         // The prepared memory image. Every SM simulates against its own
         // clone: line images and load values must not observe another
         // SM's stores, or a shard boundary between two SMs would change
@@ -1155,6 +1183,44 @@ impl Gpu {
         shared.rec.end(launch_span);
         let profile = PhaseProfile::from_recorder(&shared.rec, &shared.m);
         shared.rec.flush();
+
+        if let Some(trec) = trace_rec.as_mut() {
+            let n = self.launch_seq;
+            self.launch_seq += 1;
+            let base = if self.trace_scope.is_empty() {
+                format!("launch:{n}")
+            } else {
+                format!("{}/launch:{n}", self.trace_scope)
+            };
+            let dur = trec.now_ns().saturating_sub(trace_t0);
+            trec.emit(
+                base.clone(),
+                "gpu",
+                0,
+                trace_t0,
+                dur,
+                vec![("instructions", total_issues), ("cycles", max_core_cycles)],
+            );
+            // Phase self-times as children, laid out sequentially: the
+            // slices are disjoint by construction, so a back-to-back
+            // layout inside the launch span is the faithful picture.
+            let mut t = trace_t0;
+            for (i, s) in profile.slices.iter().enumerate() {
+                if s.nanos == 0 && s.events == 0 {
+                    continue;
+                }
+                trec.emit(
+                    format!("{base}/phase:{}", s.phase.name()),
+                    "gpu",
+                    i as u32,
+                    t,
+                    s.nanos,
+                    vec![("events", s.events)],
+                );
+                t += s.nanos;
+            }
+        }
+        drop(trace_rec); // flush the launch's trace batch
 
         self.last_log = shared.collector.take_log();
         LaunchShard {

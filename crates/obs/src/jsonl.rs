@@ -75,6 +75,13 @@ impl Record {
         r
     }
 
+    /// Append a signed integer field.
+    pub fn i64(self, k: &str, v: i64) -> Self {
+        let mut r = self.key(k);
+        r.buf.push_str(&v.to_string());
+        r
+    }
+
     /// Append a float field (`null` if not finite, per JSON's grammar).
     pub fn f64(self, k: &str, v: f64) -> Self {
         let mut r = self.key(k);

@@ -18,6 +18,11 @@
 //! * [`json`] — a minimal JSON parser, used to *validate* emitted telemetry
 //!   (CI checks every line parses and carries the required keys) and to
 //!   compare telemetry streams modulo their timing fields in tests.
+//! * [`trace`] — hierarchical causal spans behind a [`TraceSink`] handle
+//!   (same disabled/enabled regime split as [`metrics`]), merged in
+//!   stable causal-id order and exported as Chrome trace-event JSON;
+//!   [`trace::scrub_chrome`] strips the run-dependent fields so traces
+//!   can be byte-compared across worker/shard configurations.
 //!
 //! The intended wiring: the campaign driver builds one enabled sink, every
 //! simulator worker instruments its phases through a recorder, and the
@@ -29,8 +34,10 @@
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod trace;
 
 pub use jsonl::Record;
 pub use metrics::{
     CounterId, HistogramId, MetricSnapshot, MetricValue, MetricsSink, Recorder, Span, TimerId,
 };
+pub use trace::{SpanGuard, TraceEvent, TraceRecorder, TraceSink};

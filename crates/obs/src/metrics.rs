@@ -208,6 +208,66 @@ impl MetricsSink {
         }
     }
 
+    /// Text exposition of the current [`MetricsSink::snapshot`] —
+    /// Prometheus-style `# TYPE` + `name value` lines, the exact payload
+    /// a `/metrics` endpoint returns. Deterministic given the aggregate
+    /// state: metrics appear in registration order, names are sanitized
+    /// (`.` → `_`) and prefixed `bvf_`. Counters expose one sample;
+    /// timers expose `_nanos_total`/`_count`; histograms expose
+    /// cumulative `_bucket{le="2^b - 1"}` samples (the log2 bucket `b`
+    /// counts values in `[2^(b-1), 2^b)`, so for the integer values
+    /// recorded here the inclusive upper bound of everything counted
+    /// through bucket `b` is exactly `2^b - 1`) plus `_sum`/`_count`.
+    /// Empty string for a disabled sink.
+    pub fn expose_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 4);
+            out.push_str("bvf_");
+            out.extend(
+                name.chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
+            );
+            out
+        }
+        let mut out = String::new();
+        for m in self.snapshot() {
+            let name = sanitize(m.name);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricValue::Timer { nanos, count } => {
+                    out.push_str(&format!(
+                        "# TYPE {name}_nanos_total counter\n{name}_nanos_total {nanos}\n\
+                         # TYPE {name}_count counter\n{name}_count {count}\n"
+                    ));
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for (b, n) in buckets.iter().enumerate() {
+                        cum += n;
+                        if b + 1 < HISTOGRAM_BUCKETS {
+                            out.push_str(&format!(
+                                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                                (1u64 << b) - 1
+                            ));
+                        }
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {cum}\n\
+                         {name}_sum {sum}\n{name}_count {count}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Every registered metric with its aggregated value, in registration
     /// order. Empty for a disabled sink.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
@@ -575,6 +635,69 @@ mod tests {
         sink.histogram("third");
         let names: Vec<_> = sink.snapshot().iter().map(|m| m.name).collect();
         assert_eq!(names, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn panicking_worker_still_flushes_via_drop_guard() {
+        // Regression lock for telemetry loss on worker panic: batched
+        // locals must reach the shared aggregate when the recorder
+        // unwinds through a catch_unwind, because Drop is the flush.
+        let sink = MetricsSink::enabled();
+        let c = sink.counter("pre_panic_events");
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rec = sink.recorder();
+            rec.add(c, 17);
+            panic!("worker dies with unflushed locals");
+        }));
+        assert!(res.is_err());
+        assert_eq!(
+            sink.counter_value(c),
+            17,
+            "locals batched before the panic must survive the unwind"
+        );
+    }
+
+    #[test]
+    fn expose_text_renders_all_kinds_deterministically() {
+        let sink = MetricsSink::enabled();
+        let c = sink.counter("store.hit");
+        let t = sink.timer("sim.step");
+        let h = sink.histogram("item.bytes");
+        sink.add(c, 6);
+        let mut rec = sink.recorder();
+        let span = rec.begin(t);
+        rec.end(span);
+        rec.observe(h, 0);
+        rec.observe(h, 1);
+        rec.observe(h, 5);
+        rec.flush();
+        let text = sink.expose_text();
+        assert!(text.contains("# TYPE bvf_store_hit counter\nbvf_store_hit 6\n"));
+        assert!(text.contains("# TYPE bvf_sim_step_nanos_total counter\n"));
+        assert!(text.contains("bvf_sim_step_count 1\n"));
+        assert!(text.contains("# TYPE bvf_item_bytes histogram\n"));
+        // Cumulative buckets: le="0" counts the zero, le="1" adds the 1,
+        // le="7" includes the 5; +Inf carries the total.
+        assert!(text.contains("bvf_item_bytes_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("bvf_item_bytes_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("bvf_item_bytes_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("bvf_item_bytes_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("bvf_item_bytes_sum 6\n"));
+        assert!(text.contains("bvf_item_bytes_count 3\n"));
+        // Registration order is exposition order, and the text is a pure
+        // function of the aggregate.
+        let hit = text.find("bvf_store_hit ").unwrap();
+        let step = text.find("bvf_sim_step_nanos_total ").unwrap();
+        assert!(hit < step);
+        let text2 = sink.expose_text();
+        // Timer nanos vary per run but not between two snapshots of the
+        // same aggregate.
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn expose_text_is_empty_when_disabled() {
+        assert_eq!(MetricsSink::disabled().expose_text(), "");
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Hierarchical causal spans with deterministic merge and Chrome
+//! trace-event export.
+//!
+//! Every span carries a *stable causal id*: a `/`-separated path from the
+//! campaign root down to the unit of work that produced it, e.g.
+//! `campaign:main/app:VAD/shard:0/launch:0/phase:exec`. Ids are a pure
+//! function of the work graph — never of thread ids, queue order, or the
+//! clock — so the same campaign produces the same id set at any `--jobs`
+//! or `--shards` setting.
+//!
+//! Recording follows the [`crate::metrics`] regime split: a
+//! [`TraceSink::disabled`] sink makes every probe a no-op behind one
+//! branch (no clock reads, no allocation); an enabled sink hands each
+//! worker a [`TraceRecorder`] that pushes events into a private
+//! fixed-capacity ring and spills to the shared sink only when the ring
+//! fills or the recorder is dropped (so a panicking worker still
+//! delivers what it recorded — the drop guard *is* the flush). The hot
+//! path never takes a lock; the spill takes one mutex per
+//! [`RING_CAPACITY`] events.
+//!
+//! Merging is deterministic: [`TraceSink::events`] sorts by
+//! `(path, seq)` — causal id order, i.e. registry/(app, shard) order —
+//! not by arrival. The Chrome JSON written by [`export_chrome`] is
+//! loadable in Perfetto / `chrome://tracing`; [`scrub_chrome`] strips the
+//! run-dependent fields (`ts`, `dur`, `tid`, `pid`) and drops the
+//! execution-detail categories, leaving a byte-comparable span tree the
+//! same way record scrubbing drops `"timing"`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::{self, Value};
+
+/// Per-recorder ring capacity, in events, before a spill to the shared
+/// sink. Spills amortize the sink mutex to one lock per this many events.
+pub const RING_CAPACITY: usize = 1024;
+
+/// Hard cap on events retained by one sink. Beyond it, new events are
+/// counted in [`TraceSink::dropped`] and discarded — tracing degrades to
+/// a tally rather than growing without bound (overflow policy: drop
+/// newest, never block, never reallocate under the lock).
+pub const SINK_CAPACITY: usize = 1 << 20;
+
+/// Categories whose events survive [`scrub_chrome`]: their existence,
+/// ids, names, and args are a deterministic function of the workload.
+/// Everything else (`sched`, `store`, `gpu`, …) describes one particular
+/// execution — worker interleaving, cache state, shard split — and is
+/// scrubbed along with timestamps.
+pub const DETERMINISTIC_CATS: &[&str] = &["campaign", "app", "phase"];
+
+/// One closed span (or instant, when `dur_ns` is 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Stable causal id: `campaign:<label>/app:<code>/...`.
+    pub path: String,
+    /// Category (scrub survival class, see [`DETERMINISTIC_CATS`]).
+    pub cat: &'static str,
+    /// Deterministic tiebreak among events sharing a path (phase index,
+    /// store op index, …).
+    pub seq: u32,
+    /// Display lane for Chrome export. Run-dependent; scrubbed.
+    pub tid: u32,
+    /// Start, nanoseconds since the sink epoch. Run-dependent; scrubbed.
+    pub t0_ns: u64,
+    /// Duration in nanoseconds. Run-dependent; scrubbed.
+    pub dur_ns: u64,
+    /// Deterministic counter args (instructions, cycles, event counts —
+    /// never wall-clock-derived values).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// The last path segment — the span's display name.
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// Sort key for the deterministic merge.
+    fn key(&self) -> (&str, u32, u64) {
+        (&self.path, self.seq, self.t0_ns)
+    }
+}
+
+struct TraceShared {
+    epoch: Instant,
+    capacity: usize,
+    events: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+    next_tid: AtomicU32,
+}
+
+impl TraceShared {
+    fn absorb(&self, batch: &mut Vec<TraceEvent>) {
+        let mut events = self.events.lock().expect("trace sink poisoned");
+        let room = self.capacity.saturating_sub(events.len());
+        if batch.len() > room {
+            self.dropped
+                .fetch_add((batch.len() - room) as u64, Ordering::Relaxed);
+            batch.truncate(room);
+        }
+        events.append(batch);
+    }
+}
+
+/// A cloneable handle to a trace aggregate — or to nothing at all.
+///
+/// Mirrors [`crate::MetricsSink`]: cloning an enabled sink shares the
+/// same event store, so a campaign hands one sink to every worker and
+/// reads one merged, deterministically ordered event list at the end.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    shared: Option<Arc<TraceShared>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// The no-op sink: recorders hold no storage, spans read no clock.
+    pub fn disabled() -> Self {
+        Self { shared: None }
+    }
+
+    /// A live sink. Its creation instant is the trace epoch: every
+    /// event's `t0_ns` is relative to it.
+    pub fn enabled() -> Self {
+        Self::with_capacity(SINK_CAPACITY)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shared: Some(Arc::new(TraceShared {
+                epoch: Instant::now(),
+                capacity,
+                events: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+                next_tid: AtomicU32::new(0),
+            })),
+        }
+    }
+
+    /// Is this a live sink?
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// A recorder for the calling thread/work-item, displayed on lane
+    /// `tid` in the Chrome export.
+    pub fn recorder(&self, tid: u32) -> TraceRecorder {
+        TraceRecorder {
+            epoch: match &self.shared {
+                Some(s) => s.epoch,
+                None => Instant::now(),
+            },
+            buf: match &self.shared {
+                Some(_) => Vec::with_capacity(RING_CAPACITY),
+                None => Vec::new(),
+            },
+            shared: self.shared.clone(),
+            tid,
+        }
+    }
+
+    /// A recorder on a fresh auto-assigned lane (arrival-ordered — fine,
+    /// since `tid` is scrubbed).
+    pub fn lane_recorder(&self) -> TraceRecorder {
+        let tid = match &self.shared {
+            Some(s) => s.next_tid.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        self.recorder(tid)
+    }
+
+    /// Events counted out after [`SINK_CAPACITY`] was reached.
+    pub fn dropped(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// All flushed events, merged deterministically: sorted by
+    /// `(path, seq)` — causal-id order — with `t0_ns` as a final
+    /// tiebreak. Empty for a disabled sink.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let Some(s) = &self.shared else {
+            return Vec::new();
+        };
+        let mut events = s.events.lock().expect("trace sink poisoned").clone();
+        events.sort_by(|a, b| a.key().cmp(&b.key()));
+        events
+    }
+}
+
+/// An open span handle: the start instant, or nothing when the sink is
+/// disabled. `Copy`, closed with [`TraceRecorder::end`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span only records when closed with TraceRecorder::end"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Per-thread (or per-work-item) span recorder. Dropping a recorder
+/// flushes it — this is the panic-safety guarantee: a worker unwinding
+/// through a `catch_unwind` still delivers every event it closed.
+pub struct TraceRecorder {
+    shared: Option<Arc<TraceShared>>,
+    epoch: Instant,
+    tid: u32,
+    buf: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// Is the underlying sink live?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The lane this recorder draws on.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Nanoseconds since the sink epoch (0 when disabled). For callers
+    /// that lay out synthetic events with [`TraceRecorder::emit`].
+    pub fn now_ns(&self) -> u64 {
+        if self.shared.is_some() {
+            self.epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Open a span. Reads the monotonic clock once iff enabled.
+    #[inline]
+    pub fn begin(&self) -> SpanGuard {
+        SpanGuard {
+            start: if self.shared.is_some() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Close `span` under the causal id `path`. `path` is built by the
+    /// caller only on enabled recorders (guard with
+    /// [`TraceRecorder::is_enabled`] to keep the disabled path
+    /// allocation-free).
+    #[inline]
+    pub fn end(
+        &mut self,
+        span: SpanGuard,
+        path: String,
+        cat: &'static str,
+        seq: u32,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        if let Some(t0) = span.start {
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            let t0_ns = t0.duration_since(self.epoch).as_nanos() as u64;
+            self.push(TraceEvent {
+                path,
+                cat,
+                seq,
+                tid: self.tid,
+                t0_ns,
+                dur_ns,
+                args,
+            });
+        }
+    }
+
+    /// Record a pre-timed (or synthetic) event. No-op when disabled.
+    pub fn emit(
+        &mut self,
+        path: String,
+        cat: &'static str,
+        seq: u32,
+        t0_ns: u64,
+        dur_ns: u64,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        if self.shared.is_some() {
+            self.push(TraceEvent {
+                path,
+                cat,
+                seq,
+                tid: self.tid,
+                t0_ns,
+                dur_ns,
+                args,
+            });
+        }
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        self.buf.push(e);
+        if self.buf.len() >= RING_CAPACITY {
+            self.flush();
+        }
+    }
+
+    /// Spill buffered events to the shared sink (one mutex acquisition).
+    pub fn flush(&mut self) {
+        if let Some(s) = &self.shared {
+            if !self.buf.is_empty() {
+                s.absorb(&mut self.buf);
+                self.buf.clear();
+            }
+        }
+    }
+}
+
+impl Drop for TraceRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+fn push_args_json(out: &mut String, args: &[(&'static str, u64)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&crate::jsonl::escape(k));
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+/// Serialize events (already merged/ordered by [`TraceSink::events`]) as
+/// Chrome trace-event JSON: one `"X"` (complete) event per line inside a
+/// `traceEvents` array. `ts`/`dur` are microseconds (the format's unit)
+/// with nanosecond precision; `id` carries the stable causal path.
+pub fn export_chrome(events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 160 + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(&crate::jsonl::escape(e.name()));
+        out.push_str("\",\"cat\":\"");
+        out.push_str(e.cat);
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&format!("{:.3}", e.t0_ns as f64 / 1e3));
+        out.push_str(",\"dur\":");
+        out.push_str(&format!("{:.3}", e.dur_ns as f64 / 1e3));
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&e.tid.to_string());
+        out.push_str(",\"id\":\"");
+        out.push_str(&crate::jsonl::escape(&e.path));
+        out.push_str("\",\"seq\":");
+        out.push_str(&e.seq.to_string());
+        out.push_str(",\"args\":");
+        push_args_json(&mut out, &e.args);
+        out.push('}');
+    }
+    out.push_str("\n],\"droppedEvents\":");
+    out.push_str(&dropped.to_string());
+    out.push_str("}\n");
+    out
+}
+
+/// Scrub a Chrome trace produced by [`export_chrome`]: drop every event
+/// whose category is not in [`DETERMINISTIC_CATS`], strip the
+/// run-dependent keys (`ts`, `dur`, `tid`, `pid`) from the survivors,
+/// and re-serialize one event per line. Two runs of the same workload
+/// scrub to byte-identical text regardless of `--jobs`, `--shards`, or
+/// which worker recorded what — the trace-level analogue of dropping
+/// `"timing"` from telemetry records.
+pub fn scrub_chrome(text: &str) -> Result<String, json::ParseError> {
+    let v = json::parse(text)?;
+    let events = match v.get("traceEvents") {
+        Some(Value::Array(items)) => items,
+        _ => {
+            return Err(json::ParseError {
+                offset: 0,
+                message: "no traceEvents array",
+            })
+        }
+    };
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for e in events {
+        let cat = e.get("cat").and_then(Value::as_str).unwrap_or("");
+        if !DETERMINISTIC_CATS.contains(&cat) {
+            continue;
+        }
+        let scrubbed = e.without("ts").without("dur").without("tid").without("pid");
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&scrubbed.to_json_string());
+    }
+    out.push_str("\n]}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(rec: &mut TraceRecorder, path: &str, cat: &'static str, seq: u32) {
+        let s = rec.begin();
+        rec.end(s, path.to_string(), cat, seq, Vec::new());
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing_and_reads_no_clock() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        let mut rec = sink.recorder(0);
+        assert!(!rec.is_enabled());
+        let s = rec.begin();
+        rec.end(s, String::new(), "sched", 0, Vec::new());
+        rec.emit(String::new(), "sched", 0, 1, 2, Vec::new());
+        rec.flush();
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(rec.now_ns(), 0);
+    }
+
+    #[test]
+    fn events_merge_in_causal_id_order_not_arrival_order() {
+        let sink = TraceSink::enabled();
+        let mut a = sink.recorder(1);
+        let mut b = sink.recorder(2);
+        span(&mut b, "c:x/app:Z", "app", 0);
+        span(&mut a, "c:x/app:A/shard:1", "sched", 0);
+        span(&mut b, "c:x", "campaign", 0);
+        span(&mut a, "c:x/app:A/shard:0", "sched", 0);
+        drop(a);
+        drop(b);
+        let paths: Vec<String> = sink.events().into_iter().map(|e| e.path).collect();
+        assert_eq!(
+            paths,
+            ["c:x", "c:x/app:A/shard:0", "c:x/app:A/shard:1", "c:x/app:Z"]
+        );
+    }
+
+    #[test]
+    fn seq_breaks_ties_within_a_path() {
+        let sink = TraceSink::enabled();
+        let mut rec = sink.recorder(0);
+        rec.emit("p".into(), "phase", 2, 0, 0, vec![("n", 2)]);
+        rec.emit("p".into(), "phase", 0, 9, 0, vec![("n", 0)]);
+        rec.emit("p".into(), "phase", 1, 5, 0, vec![("n", 1)]);
+        drop(rec);
+        let seqs: Vec<u32> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+    }
+
+    #[test]
+    fn drop_flushes_like_a_panicking_worker() {
+        let sink = TraceSink::enabled();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rec = sink.lane_recorder();
+            span(&mut rec, "c/app:X/shard:0", "sched", 0);
+            panic!("worker dies mid-item");
+        }));
+        assert!(res.is_err());
+        // The closed span survived the unwind: TraceRecorder's Drop is
+        // the flush guard.
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].path, "c/app:X/shard:0");
+    }
+
+    #[test]
+    fn ring_spills_at_capacity_and_sink_caps_with_drop_count() {
+        let sink = TraceSink::enabled();
+        let mut rec = sink.recorder(0);
+        for i in 0..RING_CAPACITY {
+            rec.emit(format!("e:{i:08}"), "sched", 0, i as u64, 0, Vec::new());
+        }
+        // The ring spilled without an explicit flush.
+        assert_eq!(sink.events().len(), RING_CAPACITY);
+        drop(rec);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn name_is_last_path_segment() {
+        let e = TraceEvent {
+            path: "campaign:main/app:VAD/phase:exec".into(),
+            cat: "phase",
+            seq: 0,
+            tid: 0,
+            t0_ns: 0,
+            dur_ns: 0,
+            args: Vec::new(),
+        };
+        assert_eq!(e.name(), "phase:exec");
+    }
+
+    #[test]
+    fn export_is_valid_json_and_scrub_drops_run_detail() {
+        let sink = TraceSink::enabled();
+        let mut rec = sink.recorder(7);
+        rec.emit("c:q".into(), "campaign", 0, 100, 5000, vec![("apps", 2)]);
+        rec.emit(
+            "c:q/app:A".into(),
+            "app",
+            0,
+            150,
+            900,
+            vec![("instructions", 42)],
+        );
+        rec.emit("c:q/app:A/shard:0".into(), "sched", 0, 150, 900, Vec::new());
+        drop(rec);
+        let text = export_chrome(&sink.events(), sink.dropped());
+        let v = json::parse(&text).expect("export parses");
+        let Some(Value::Array(items)) = v.get("traceEvents") else {
+            panic!("no traceEvents");
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(items[0].get("ts").and_then(Value::as_f64), Some(0.1));
+        let scrubbed = scrub_chrome(&text).expect("scrubs");
+        assert!(!scrubbed.contains("shard:0"), "sched event must be dropped");
+        assert!(scrubbed.contains("\"id\":\"c:q/app:A\""));
+        assert!(!scrubbed.contains("\"ts\""), "timestamps must be scrubbed");
+        assert!(!scrubbed.contains("\"tid\""), "lanes must be scrubbed");
+        assert!(scrubbed.contains("\"instructions\":42"), "args survive");
+        // Scrubbed output is itself valid JSON.
+        json::parse(&scrubbed).expect("scrubbed parses");
+    }
+
+    #[test]
+    fn scrubbed_text_is_identical_across_interleavings() {
+        let run = |swap: bool| {
+            let sink = TraceSink::enabled();
+            let mut a = sink.lane_recorder();
+            let mut b = sink.lane_recorder();
+            let (first, second) = if swap {
+                (&mut b, &mut a)
+            } else {
+                (&mut a, &mut b)
+            };
+            first.emit("c/app:A".into(), "app", 0, 7, 3, vec![("instructions", 1)]);
+            second.emit("c/app:B".into(), "app", 0, 2, 9, vec![("instructions", 2)]);
+            second.emit("c/app:B/shard:0".into(), "sched", 0, 2, 9, Vec::new());
+            drop(a);
+            drop(b);
+            scrub_chrome(&export_chrome(&sink.events(), sink.dropped())).unwrap()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sink_capacity_overflow_counts_drops() {
+        let sink = TraceSink::with_capacity(4);
+        let mut rec = sink.recorder(0);
+        for i in 0..7 {
+            rec.emit(format!("e:{i}"), "sched", 0, i, 0, Vec::new());
+        }
+        rec.flush();
+        assert_eq!(sink.events().len(), 4, "sink never exceeds capacity");
+        assert_eq!(sink.dropped(), 3, "overflow is counted, not silent");
+        // Further events keep counting.
+        rec.emit("late".into(), "sched", 0, 0, 0, Vec::new());
+        rec.flush();
+        assert_eq!(sink.dropped(), 4);
+    }
+}

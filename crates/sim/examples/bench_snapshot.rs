@@ -19,6 +19,9 @@
 //! ordinary runner passes comfortably while a hot-path regression back to
 //! pre-bit-sliced collector throughput still fails the gate.
 
+use std::io::Write;
+
+use bvf_obs::Record;
 use bvf_sim::{Campaign, CampaignOptions, Parallelism, ShardMode};
 
 /// Extract a numeric field from a flat JSON object without a JSON parser:
@@ -33,6 +36,20 @@ fn json_number(text: &str, name: &str) -> Option<f64> {
         })
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// The short commit id of the working tree, for history records;
+/// `"unknown"` outside a git checkout (an exported tarball, say).
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn main() {
@@ -99,6 +116,30 @@ fn main() {
     );
     std::fs::write("BENCH_collector.json", &snapshot).expect("write BENCH_collector.json");
     print!("wrote BENCH_collector.json: {snapshot}");
+
+    // Append this measurement to the running history, keyed by commit and
+    // configuration — never by wall-clock time, so re-running a commit
+    // appends a comparable record instead of inventing a new key. The
+    // history lets a slow drift be spotted even when every single step
+    // stays inside the 10% gate.
+    let history = Record::new("bench_history")
+        .str("commit", &git_commit())
+        .str("config", "full_baseline")
+        .u64("apps", best.apps as u64)
+        .u64("total_instructions", best.total_instructions)
+        .f64("wall_ms", best.wall.as_secs_f64() * 1e3)
+        .f64("instructions_per_second", ips)
+        .u64("shards", u64::from(sharded.shards))
+        .f64("shard_wall_ms", sharded.wall.as_secs_f64() * 1e3)
+        .f64("shard_instructions_per_second", shard_ips)
+        .finish();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_history.jsonl")
+        .expect("open BENCH_history.jsonl");
+    writeln!(f, "{history}").expect("append BENCH_history.jsonl");
+    println!("appended to BENCH_history.jsonl: {history}");
 
     if let Some(path) = baseline_path {
         let text =

@@ -1,0 +1,40 @@
+//! Scrub a Chrome trace-event file down to its deterministic core.
+//!
+//! ```text
+//! cargo run --release -p bvf-sim --example scrub_trace -- run.trace.json
+//! ```
+//!
+//! Reads the trace written by `reproduce --trace FILE`, drops every
+//! run-dependent field (timestamps, durations, thread lanes) and every
+//! scheduling-dependent span, and prints the rest — the logical
+//! campaign/app/phase tree with its counter args — to stdout. Two runs of
+//! the same workload must scrub to byte-identical output whatever
+//! `--jobs` or `--shards` they used; CI diffs this program's output to
+//! enforce that.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let (Some(path), None) = (argv.next(), argv.next()) else {
+        eprintln!("usage: scrub_trace FILE");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path:?}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match bvf_obs::trace::scrub_chrome(&text) {
+        Ok(scrubbed) => {
+            print!("{scrubbed}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path:?} is not a valid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

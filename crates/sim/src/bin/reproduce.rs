@@ -38,6 +38,13 @@
 //! diffed after scrubbing it. `--cache DIR` keeps that guarantee across
 //! cold and warm runs: cached results are bit-identical to simulated ones,
 //! so only the `"timing"` story changes.
+//!
+//! `--trace FILE` records every campaign as a causal span tree and writes
+//! it as Chrome trace-event JSON (open in Perfetto or chrome://tracing);
+//! after scrubbing the run-dependent fields (`scrub_trace` example) the
+//! trace is byte-identical across `--jobs` and `--shards` settings.
+//! `--trace-report` prints a per-campaign critical-path table on stderr
+//! attributing the campaign wall to its blocking chain.
 
 use std::cell::RefCell;
 use std::io::Write;
@@ -52,7 +59,7 @@ use bvf_workloads::Application;
 const USAGE: &str =
     "usage: reproduce [quick] [--jobs N] [--shards N|auto] [--export DIR] [--metrics FILE]
                  [--progress] [--profile] [--cache DIR] [--no-cache] [--cache-verify N]
-                 [--inject-panic APP]
+                 [--trace FILE] [--trace-report] [--inject-panic APP]
 
   quick           smoke subset (6 apps, 2 SMs) instead of the full 58-app run
   --jobs N        worker count (N >= 1; 1 = sequential)
@@ -68,6 +75,9 @@ const USAGE: &str =
   --no-cache      ignore --cache for this run (simulate and store nothing)
   --cache-verify N  re-simulate N sampled cache hits per campaign and
                   require bit-identical summaries (needs --cache)
+  --trace FILE    write a Chrome trace-event JSON span tree of every
+                  campaign to FILE (load in Perfetto / chrome://tracing)
+  --trace-report  print a per-campaign critical-path table on stderr
   --inject-panic APP  fault drill: panic the worker simulating APP; the run
                   must still complete every other app and exit 1";
 
@@ -85,6 +95,8 @@ struct Args {
     cache_dir: Option<String>,
     no_cache: bool,
     cache_verify: Option<usize>,
+    trace_path: Option<String>,
+    trace_report: bool,
     inject_panic: Option<String>,
 }
 
@@ -100,6 +112,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cache_dir: None,
         no_cache: false,
         cache_verify: None,
+        trace_path: None,
+        trace_report: false,
         inject_panic: None,
     };
     let mut i = 1;
@@ -167,6 +181,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.cache_verify = Some(n);
                 i += 1;
             }
+            "--trace" => {
+                args.trace_path = Some(value_of(i, "--trace")?);
+                i += 1;
+            }
+            "--trace-report" => args.trace_report = true,
             "--inject-panic" => {
                 args.inject_panic = Some(value_of(i, "--inject-panic")?);
                 i += 1;
@@ -265,10 +284,18 @@ fn main() {
         }
         _ => None,
     };
+    let tracing = args.trace_path.is_some() || args.trace_report;
+    let tracer = if tracing {
+        bvf_obs::TraceSink::enabled()
+    } else {
+        bvf_obs::TraceSink::disabled()
+    };
     let opts = CampaignOptions {
         par: args.par,
         progress: args.progress,
-        sink: if args.profile {
+        // The logical phase spans in a trace are derived from the phase
+        // profiles, so tracing implies the metrics sink.
+        sink: if args.profile || tracing {
             bvf_obs::MetricsSink::enabled()
         } else {
             bvf_obs::MetricsSink::disabled()
@@ -276,7 +303,14 @@ fn main() {
         store: store.clone(),
         fault: args.inject_panic.clone(),
         shards: args.shards,
+        tracer: tracer.clone(),
         ..CampaignOptions::default()
+    };
+    // Each campaign gets its own causal root (`campaign:<label>`) in the
+    // shared trace sink.
+    let opts_for = |label: &str| CampaignOptions {
+        trace_label: label.to_string(),
+        ..opts.clone()
     };
     let mut telemetry = Telemetry::open(args.metrics_path.as_deref());
     if let Some(dir) = &args.export_dir {
@@ -344,9 +378,9 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let main_campaign = if args.quick {
-        Campaign::smoke_with_options(&opts)
+        Campaign::smoke_with_options(&opts_for("main"))
     } else {
-        Campaign::full_baseline_with_options(&opts)
+        Campaign::full_baseline_with_options(&opts_for("main"))
     };
     finish_campaign("main", &main_campaign, &mut telemetry);
 
@@ -393,7 +427,7 @@ fn main() {
             GpuConfig::baseline()
         };
         cfg.scheduler = kind;
-        let c = Campaign::run_with_options(cfg, &apps_for("sched"), &opts);
+        let c = Campaign::run_with_options(cfg, &apps_for("sched"), &opts_for(label));
         finish_campaign(label, &c, &mut telemetry);
         c
     };
@@ -412,7 +446,7 @@ fn main() {
         if args.quick {
             cfg.sms = cfg.sms.min(2);
         }
-        let c = Campaign::run_with_options(cfg, &apps_for("capacity"), &opts);
+        let c = Campaign::run_with_options(cfg, &apps_for("capacity"), &opts_for(label));
         finish_campaign(label, &c, &mut telemetry);
         c
     };
@@ -453,6 +487,21 @@ fn main() {
     );
 
     telemetry.finish();
+    if tracing {
+        let events = tracer.events();
+        if let Some(path) = &args.trace_path {
+            let text = bvf_obs::trace::export_chrome(&events, tracer.dropped());
+            if let Err(e) = std::fs::write(path, text) {
+                io_bail("trace file", std::path::Path::new(path), &e);
+            }
+            eprintln!("trace: {} events written to {path}", events.len());
+        }
+        if args.trace_report {
+            for report in bvf_sim::TraceReport::from_events(&events) {
+                eprintln!("{report}");
+            }
+        }
+    }
     if let Some(store) = &store {
         let s = store.stats();
         eprintln!(

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use bvf_gpu::{CodingView, Gpu, GpuConfig, PhaseProfile, TraceSummary};
 use bvf_isa::{derive_mask_for, Architecture};
-use bvf_obs::MetricsSink;
+use bvf_obs::{MetricsSink, TraceRecorder, TraceSink};
 use bvf_workloads::Application;
 
 use crate::store::ResultStore;
@@ -154,6 +154,15 @@ pub struct CampaignOptions {
     /// Intra-application sharding of the work queue (`reproduce --shards`).
     /// Off by default; results are bit-identical either way.
     pub shards: ShardMode,
+    /// Trace sink receiving causal spans from the scheduler and every
+    /// worker (campaign → app → shard → launch → phase, plus store I/O
+    /// and merge/DRAM-replay spans). The default disabled sink makes
+    /// every probe a no-op — no clock reads, no allocation.
+    pub tracer: TraceSink,
+    /// Label of this campaign in trace causal ids (`campaign:<label>`).
+    /// Give concurrent or sequential campaigns sharing one sink distinct
+    /// labels, or their span ids collide.
+    pub trace_label: String,
 }
 
 impl Default for CampaignOptions {
@@ -166,6 +175,8 @@ impl Default for CampaignOptions {
             store: None,
             fault: None,
             shards: ShardMode::Off,
+            tracer: TraceSink::disabled(),
+            trace_label: "run".to_string(),
         }
     }
 }
@@ -182,6 +193,10 @@ struct Progress {
     done: AtomicUsize,
     instructions: AtomicU64,
     busy: AtomicUsize,
+    /// Summed wall time of completed items, for the ETA column. Stderr
+    /// display only — ETA is wall-clock-derived and must never reach
+    /// telemetry records or traces, scrubbed or not.
+    item_wall_nanos: AtomicU64,
 }
 
 impl Progress {
@@ -197,6 +212,7 @@ impl Progress {
             done: AtomicUsize::new(0),
             instructions: AtomicU64::new(0),
             busy: AtomicUsize::new(0),
+            item_wall_nanos: AtomicU64::new(0),
         }
     }
 
@@ -208,13 +224,31 @@ impl Progress {
         let instr = self.instructions.load(Ordering::Relaxed);
         let queued = self.total.saturating_sub(started);
         let rate = instr as f64 / elapsed.as_secs_f64().max(1e-9);
-        format!(
+        let mut line = format!(
             "[campaign] {done}/{} {} done, {busy} busy, {queued} queued, {:.1} M instr at {:.1} M/s",
             self.total,
             self.noun,
             instr as f64 / 1e6,
             rate / 1e6,
-        )
+        );
+        if let Some(eta) = self.eta(done, busy) {
+            line.push_str(&format!(", ~{:.1}s left", eta.as_secs_f64()));
+        }
+        line
+    }
+
+    /// Estimated time to drain the queue: mean completed-item wall times
+    /// the remaining item count, divided by the busy worker count. None
+    /// until one item has finished or once everything is done.
+    fn eta(&self, done: usize, busy: usize) -> Option<Duration> {
+        let remaining = self.total.saturating_sub(done);
+        if done == 0 || remaining == 0 {
+            return None;
+        }
+        let mean = self.item_wall_nanos.load(Ordering::Relaxed) / done as u64;
+        Some(Duration::from_nanos(
+            mean.saturating_mul(remaining as u64) / busy.max(1) as u64,
+        ))
     }
 }
 
@@ -438,10 +472,28 @@ impl Campaign {
         // `parallel_map` hands the callback only the item — so the items
         // carry their index.
         let indexed: Vec<(usize, &Application)> = apps.iter().enumerate().collect();
+        let trace_root = format!("campaign:{}", opts.trace_label);
+        let mut main_trace = opts.tracer.is_enabled().then(|| {
+            let rec = opts.tracer.recorder(u32::MAX);
+            let t0_ns = rec.now_ns();
+            (rec, t0_ns)
+        });
         let t0 = Instant::now();
         let simulate = |&(i, app): &(usize, &Application)| -> Result<AppResult, AppFailure> {
             progress.started.fetch_add(1, Ordering::Relaxed);
             progress.busy.fetch_add(1, Ordering::Relaxed);
+            let t_item = Instant::now();
+            // Per-item trace recorder: its Drop flushes, so even a panic
+            // below delivers every span closed before the unwind.
+            let item_path = opts
+                .tracer
+                .is_enabled()
+                .then(|| format!("{trace_root}/app:{}/shard:0", app.code));
+            let mut item_trace = item_path.as_ref().map(|_| {
+                let rec = opts.tracer.recorder(i as u32);
+                let t0_ns = rec.now_ns();
+                (rec, t0_ns)
+            });
             // Everything fallible runs under `catch_unwind`: a panicking
             // application (simulator bug, fault drill, failed cache
             // verification) becomes an `AppFailure` on this campaign, and
@@ -450,16 +502,40 @@ impl Campaign {
                 if opts.fault.as_deref() == Some(app.code) {
                     panic!("injected fault: worker asked to fail on {}", app.code);
                 }
+                let item_ctx = item_path
+                    .as_ref()
+                    .map(|path| (&opts.tracer, path.as_str(), i as u32));
                 let Some(store) = opts.store.as_deref() else {
-                    return Self::simulate_one(&config, &views, opts.arch, &opts.sink, app);
+                    return Self::simulate_one(
+                        &config, &views, opts.arch, &opts.sink, app, item_ctx,
+                    );
                 };
                 let key = ResultStore::key(&config, opts.arch, isa_mask, app.code);
                 let t_load = Instant::now();
-                if let Some(summary) = store.load(key, app.code) {
+                let load_t0 = item_trace.as_ref().map_or(0, |(rec, _)| rec.now_ns());
+                let loaded = store.load(key, app.code);
+                if let (Some((rec, _)), Some(path)) = (item_trace.as_mut(), item_path.as_deref()) {
+                    let end = rec.now_ns();
+                    rec.emit(
+                        format!("{path}/store:load"),
+                        "store",
+                        1,
+                        load_t0,
+                        end.saturating_sub(load_t0),
+                        vec![("hit", u64::from(loaded.is_some()))],
+                    );
+                }
+                if let Some(summary) = loaded {
                     hits.fetch_add(1, Ordering::Relaxed);
                     opts.sink.add(hit_ctr, 1);
                     if verify.get(i).copied().unwrap_or(false) {
-                        let fresh = Self::simulate_one(&config, &views, opts.arch, &opts.sink, app);
+                        let verify_scope = item_path.as_ref().map(|p| p.clone() + "/verify");
+                        let verify_ctx = verify_scope
+                            .as_ref()
+                            .map(|p| (&opts.tracer, p.as_str(), i as u32));
+                        let fresh = Self::simulate_one(
+                            &config, &views, opts.arch, &opts.sink, app, verify_ctx,
+                        );
                         assert_eq!(
                             fresh.summary, summary,
                             "cache verification failed for {}: the stored summary is not \
@@ -483,8 +559,21 @@ impl Campaign {
                 }
                 misses.fetch_add(1, Ordering::Relaxed);
                 opts.sink.add(miss_ctr, 1);
-                let result = Self::simulate_one(&config, &views, opts.arch, &opts.sink, app);
+                let result =
+                    Self::simulate_one(&config, &views, opts.arch, &opts.sink, app, item_ctx);
+                let save_t0 = item_trace.as_ref().map_or(0, |(rec, _)| rec.now_ns());
                 store.save(key, app.code, &result.summary);
+                if let (Some((rec, _)), Some(path)) = (item_trace.as_mut(), item_path.as_deref()) {
+                    let end = rec.now_ns();
+                    rec.emit(
+                        format!("{path}/store:save"),
+                        "store",
+                        2,
+                        save_t0,
+                        end.saturating_sub(save_t0),
+                        Vec::new(),
+                    );
+                }
                 result
             }));
             if let Ok(result) = &outcome {
@@ -492,6 +581,18 @@ impl Campaign {
                     .instructions
                     .fetch_add(result.summary.dynamic_instructions, Ordering::Relaxed);
             }
+            if let (Some((mut rec, item_t0)), Some(path)) = (item_trace, item_path) {
+                let end = rec.now_ns();
+                let args = if outcome.is_err() {
+                    vec![("failed", 1)]
+                } else {
+                    Vec::new()
+                };
+                rec.emit(path, "sched", 0, item_t0, end.saturating_sub(item_t0), args);
+            }
+            progress
+                .item_wall_nanos
+                .fetch_add(t_item.elapsed().as_nanos() as u64, Ordering::Relaxed);
             progress.busy.fetch_sub(1, Ordering::Relaxed);
             progress.done.fetch_add(1, Ordering::Relaxed);
             outcome.map_err(|payload| AppFailure {
@@ -512,6 +613,9 @@ impl Campaign {
                 Ok(r) => results.push(r),
                 Err(f) => failures.push(f),
             }
+        }
+        if let Some((rec, t0_ns)) = main_trace.as_mut() {
+            Self::emit_logical_spans(rec, &trace_root, *t0_ns, &results, &failures);
         }
         let index = Self::build_index(&results);
         let max_item_wall = results.iter().map(|r| r.wall).max().unwrap_or_default();
@@ -577,26 +681,66 @@ impl Campaign {
             .enumerate()
             .map(|(j, &(i, s))| (j, i, s))
             .collect();
+        let trace_root = format!("campaign:{}", opts.trace_label);
+        let mut main_trace = opts.tracer.is_enabled().then(|| {
+            let rec = opts.tracer.recorder(u32::MAX);
+            let t0_ns = rec.now_ns();
+            (rec, t0_ns)
+        });
         let t0 = Instant::now();
         type ShardPiece = (bvf_gpu::LaunchShard, Duration, bool);
         let simulate = |&(j, i, s): &(usize, usize, u32)| -> Result<ShardPiece, String> {
             let app = &apps[i];
             progress.started.fetch_add(1, Ordering::Relaxed);
             progress.busy.fetch_add(1, Ordering::Relaxed);
+            let t_item = Instant::now();
+            // Per-item trace recorder on the queue-slot lane; Drop flushes
+            // it even when the closure below panics.
+            let item_path = opts
+                .tracer
+                .is_enabled()
+                .then(|| format!("{trace_root}/app:{}/shard:{s}", app.code));
+            let mut item_trace = item_path.as_ref().map(|_| {
+                let rec = opts.tracer.recorder(j as u32);
+                let t0_ns = rec.now_ns();
+                (rec, t0_ns)
+            });
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if opts.fault.as_deref() == Some(app.code) {
                     panic!("injected fault: worker asked to fail on {}", app.code);
                 }
+                let item_ctx = item_path
+                    .as_ref()
+                    .map(|path| (&opts.tracer, path.as_str(), j as u32));
                 let store_key = opts.store.as_deref().map(|_| {
                     let app_key = ResultStore::key(&config, opts.arch, isa_mask, app.code);
                     ResultStore::shard_key(app_key, s, shard_count)
                 });
                 if let (Some(store), Some(key)) = (opts.store.as_deref(), store_key) {
                     let t_load = Instant::now();
-                    if let Some(shard) = store.load_shard(key, app.code, s, shard_count) {
+                    let load_t0 = item_trace.as_ref().map_or(0, |(rec, _)| rec.now_ns());
+                    let loaded = store.load_shard(key, app.code, s, shard_count);
+                    if let (Some((rec, _)), Some(path)) =
+                        (item_trace.as_mut(), item_path.as_deref())
+                    {
+                        let end = rec.now_ns();
+                        rec.emit(
+                            format!("{path}/store:load"),
+                            "store",
+                            1,
+                            load_t0,
+                            end.saturating_sub(load_t0),
+                            vec![("hit", u64::from(loaded.is_some()))],
+                        );
+                    }
+                    if let Some(shard) = loaded {
                         hits.fetch_add(1, Ordering::Relaxed);
                         opts.sink.add(hit_ctr, 1);
                         if verify.get(j).copied().unwrap_or(false) {
+                            let verify_scope = item_path.as_ref().map(|p| p.clone() + "/verify");
+                            let verify_ctx = verify_scope
+                                .as_ref()
+                                .map(|p| (&opts.tracer, p.as_str(), j as u32));
                             let (fresh, _) = Self::simulate_one_shard(
                                 &config,
                                 views,
@@ -605,6 +749,7 @@ impl Campaign {
                                 app,
                                 s,
                                 shard_count,
+                                verify_ctx,
                             );
                             assert_eq!(
                                 fresh, shard,
@@ -629,9 +774,24 @@ impl Campaign {
                     app,
                     s,
                     shard_count,
+                    item_ctx,
                 );
                 if let (Some(store), Some(key)) = (opts.store.as_deref(), store_key) {
+                    let save_t0 = item_trace.as_ref().map_or(0, |(rec, _)| rec.now_ns());
                     store.save_shard(key, app.code, s, shard_count, &shard);
+                    if let (Some((rec, _)), Some(path)) =
+                        (item_trace.as_mut(), item_path.as_deref())
+                    {
+                        let end = rec.now_ns();
+                        rec.emit(
+                            format!("{path}/store:save"),
+                            "store",
+                            2,
+                            save_t0,
+                            end.saturating_sub(save_t0),
+                            Vec::new(),
+                        );
+                    }
                 }
                 (shard, wall, false)
             }));
@@ -640,6 +800,18 @@ impl Campaign {
                     .instructions
                     .fetch_add(shard.dynamic_instructions, Ordering::Relaxed);
             }
+            if let (Some((mut rec, item_t0)), Some(path)) = (item_trace, item_path) {
+                let end = rec.now_ns();
+                let args = if outcome.is_err() {
+                    vec![("failed", 1)]
+                } else {
+                    Vec::new()
+                };
+                rec.emit(path, "sched", 0, item_t0, end.saturating_sub(item_t0), args);
+            }
+            progress
+                .item_wall_nanos
+                .fetch_add(t_item.elapsed().as_nanos() as u64, Ordering::Relaxed);
             progress.busy.fetch_sub(1, Ordering::Relaxed);
             progress.done.fetch_add(1, Ordering::Relaxed);
             outcome.map_err(panic_message)
@@ -682,12 +854,24 @@ impl Campaign {
                 cached &= shard_cached;
                 shards.push(shard);
             }
+            let merge_t0 = main_trace.as_ref().map_or(0, |(rec, _)| rec.now_ns());
             let summary = bvf_gpu::merge_shards(&config, &shards);
             if !cached {
                 if let Some(store) = opts.store.as_deref() {
                     let app_key = ResultStore::key(&config, opts.arch, isa_mask, app.code);
                     store.save(app_key, app.code, &summary);
                 }
+            }
+            if let Some((rec, _)) = main_trace.as_mut() {
+                let end = rec.now_ns();
+                rec.emit(
+                    format!("{trace_root}/app:{}/merge", app.code),
+                    "sched",
+                    0,
+                    merge_t0,
+                    end.saturating_sub(merge_t0),
+                    vec![("shards", u64::from(shard_count))],
+                );
             }
             results.push(AppResult {
                 app: app.clone(),
@@ -698,6 +882,9 @@ impl Campaign {
                 cached,
                 shards: shard_count,
             });
+        }
+        if let Some((rec, t0_ns)) = main_trace.as_mut() {
+            Self::emit_logical_spans(rec, &trace_root, *t0_ns, &results, &failures);
         }
         let index = Self::build_index(&results);
         Self {
@@ -718,7 +905,8 @@ impl Campaign {
     }
 
     /// Simulate one launch shard of one application on a fresh GPU,
-    /// timing it.
+    /// timing it. `trace` carries (sink, causal scope, lane id) so the GPU
+    /// can attribute its launch/phase spans under the campaign item.
     #[allow(clippy::too_many_arguments)]
     fn simulate_one_shard(
         config: &GpuConfig,
@@ -728,11 +916,15 @@ impl Campaign {
         app: &Application,
         index: u32,
         count: u32,
+        trace: Option<(&TraceSink, &str, u32)>,
     ) -> (bvf_gpu::LaunchShard, Duration) {
         let t0 = Instant::now();
         let mut gpu = Gpu::new(config.clone(), views.to_vec());
         gpu.set_architecture(arch);
         gpu.set_metrics(sink.clone());
+        if let Some((tracer, scope, tid)) = trace {
+            gpu.set_tracer(tracer.clone(), scope.to_string(), tid);
+        }
         let shard = app.run_shard(&mut gpu, index, count);
         (shard, t0.elapsed())
     }
@@ -744,11 +936,15 @@ impl Campaign {
         arch: Architecture,
         sink: &MetricsSink,
         app: &Application,
+        trace: Option<(&TraceSink, &str, u32)>,
     ) -> AppResult {
         let t0 = Instant::now();
         let mut gpu = Gpu::new(config.clone(), views.to_vec());
         gpu.set_architecture(arch);
         gpu.set_metrics(sink.clone());
+        if let Some((tracer, scope, tid)) = trace {
+            gpu.set_tracer(tracer.clone(), scope.to_string(), tid);
+        }
         let summary = app.run(&mut gpu);
         let wall = t0.elapsed();
         let instructions_per_second =
@@ -761,6 +957,84 @@ impl Campaign {
             cached: false,
             shards: 1,
         }
+    }
+
+    /// Emit the *logical* span tree — campaign, per-app, per-phase — from
+    /// the main thread at assembly time, in registry order.
+    ///
+    /// These are the spans that survive [`bvf_obs::trace::scrub_chrome`],
+    /// so they must be a deterministic function of the campaign's
+    /// *results*, never of scheduling: paths, seq numbers, and args come
+    /// from simulated counters (bit-identical across worker counts and
+    /// shard modes), while timestamps are a synthetic sequential layout of
+    /// each app's wall on the main lane (scrubbed before diffing). A phase
+    /// slice is emitted iff it recorded events — `events` is deterministic
+    /// (instructions for exec, DRAM requests for the drain, …) where its
+    /// nanos are not, so the *set* of emitted spans is stable too.
+    fn emit_logical_spans(
+        rec: &mut TraceRecorder,
+        root: &str,
+        campaign_t0: u64,
+        results: &[AppResult],
+        failures: &[AppFailure],
+    ) {
+        let mut cursor = campaign_t0;
+        let mut instructions = 0u64;
+        for r in results {
+            let app_ns = r.wall.as_nanos() as u64;
+            instructions += r.summary.dynamic_instructions;
+            rec.emit(
+                format!("{root}/app:{}", r.app.code),
+                "app",
+                0,
+                cursor,
+                app_ns,
+                vec![
+                    ("instructions", r.summary.dynamic_instructions),
+                    ("cycles", r.summary.cycles),
+                    ("cached", u64::from(r.cached)),
+                ],
+            );
+            let mut phase_cursor = cursor;
+            for (i, s) in r.summary.profile.slices.iter().enumerate() {
+                if s.events == 0 {
+                    continue;
+                }
+                rec.emit(
+                    format!("{root}/app:{}/phase:{}", r.app.code, s.phase.name()),
+                    "phase",
+                    i as u32,
+                    phase_cursor,
+                    s.nanos,
+                    vec![("events", s.events)],
+                );
+                phase_cursor += s.nanos;
+            }
+            cursor += app_ns;
+        }
+        for f in failures {
+            rec.emit(
+                format!("{root}/app:{}", f.app),
+                "app",
+                0,
+                cursor,
+                0,
+                vec![("failed", 1)],
+            );
+        }
+        let end = rec.now_ns();
+        rec.emit(
+            root.to_string(),
+            "campaign",
+            0,
+            campaign_t0,
+            end.saturating_sub(campaign_t0),
+            vec![
+                ("apps", results.len() as u64),
+                ("failed", failures.len() as u64),
+                ("instructions", instructions),
+            ],
+        );
     }
 
     fn build_index(results: &[AppResult]) -> HashMap<&'static str, usize> {
@@ -1586,5 +1860,118 @@ mod tests {
         assert!(warm.failures[0].error.contains("cache verification failed"));
         assert_eq!(warm.results.len(), 5, "other apps are unaffected");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eta_appears_once_items_complete_and_never_before() {
+        let p = Progress::new(8);
+        assert!(p.eta(0, 1).is_none(), "no ETA before the first completion");
+        p.item_wall_nanos.store(4_000_000_000, Ordering::Relaxed);
+        p.done.store(4, Ordering::Relaxed);
+        p.busy.store(2, Ordering::Relaxed);
+        // Mean 1 s per item, 4 remaining, 2 busy workers → 2 s.
+        assert_eq!(p.eta(4, 2), Some(Duration::from_secs(2)));
+        let line = p.line(Duration::from_secs(1));
+        assert!(line.contains("~2.0s left"), "line: {line}");
+        assert!(p.eta(8, 2).is_none(), "no ETA once the queue is drained");
+        // A sequential pool (busy can read 0 between items) must not
+        // divide by zero.
+        assert_eq!(p.eta(4, 0), Some(Duration::from_secs(4)));
+    }
+
+    /// Run the smoke campaign with tracing on; return the scrubbed trace
+    /// and the campaign.
+    fn scrubbed_smoke(
+        par: Parallelism,
+        shards: ShardMode,
+        fault: Option<&str>,
+    ) -> (String, Campaign, TraceSink) {
+        let tracer = TraceSink::enabled();
+        let opts = CampaignOptions {
+            par,
+            shards,
+            tracer: tracer.clone(),
+            trace_label: "test".to_string(),
+            sink: MetricsSink::enabled(),
+            fault: fault.map(str::to_string),
+            ..CampaignOptions::default()
+        };
+        let c = Campaign::smoke_with_options(&opts);
+        let text = bvf_obs::trace::export_chrome(&tracer.events(), tracer.dropped());
+        let scrubbed = bvf_obs::trace::scrub_chrome(&text).expect("trace parses");
+        (scrubbed, c, tracer)
+    }
+
+    #[test]
+    fn scrubbed_traces_are_identical_across_jobs_and_shards() {
+        let (base, c1, _) = scrubbed_smoke(Parallelism::Sequential, ShardMode::Off, None);
+        assert!(base.contains("campaign:test"), "campaign root missing");
+        assert!(base.contains("app:SGE"), "app spans missing");
+        assert!(base.contains("phase:"), "phase spans missing");
+        for (par, shards) in [
+            (Parallelism::Fixed(4), ShardMode::Off),
+            (Parallelism::Fixed(4), ShardMode::Auto),
+            (Parallelism::Sequential, ShardMode::Fixed(2)),
+        ] {
+            let (scrubbed, c, _) = scrubbed_smoke(par, shards, None);
+            assert_eq!(
+                scrubbed, base,
+                "scrubbed trace differs for {par:?}/{shards:?}"
+            );
+            for (a, b) in c1.results.iter().zip(&c.results) {
+                assert_eq!(
+                    a.summary, b.summary,
+                    "results differ for {par:?}/{shards:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_worker_still_yields_a_deterministic_trace() {
+        let (base, c, _) = scrubbed_smoke(Parallelism::Fixed(4), ShardMode::Off, Some("BFS"));
+        assert_eq!(c.failures.len(), 1, "the fault must surface as a failure");
+        assert!(
+            base.contains(r#""failed":1"#),
+            "failed app span missing from scrubbed trace: {base}"
+        );
+        let (other, _, _) = scrubbed_smoke(Parallelism::Sequential, ShardMode::Auto, Some("BFS"));
+        assert_eq!(other, base, "panic runs must scrub identically too");
+    }
+
+    #[test]
+    fn trace_report_accounts_for_the_campaign_wall() {
+        let (_, c, tracer) = scrubbed_smoke(Parallelism::Sequential, ShardMode::Off, None);
+        let reports = crate::trace_report::TraceReport::from_events(&tracer.events());
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        // The rows partition the campaign span exactly…
+        assert_eq!(r.rows_total_ns(), r.wall_ns);
+        // …and the span tracks the measured campaign wall to within 1%
+        // (the span additionally covers result assembly, which for an
+        // unsharded sequential run is microseconds).
+        let wall_ns = c.wall.as_nanos() as u64;
+        assert!(r.wall_ns >= wall_ns, "span cannot be shorter than the wall");
+        assert!(
+            (r.wall_ns - wall_ns) as f64 <= 0.01 * wall_ns as f64,
+            "span {} vs wall {wall_ns}: assembly tail exceeds 1%",
+            r.wall_ns
+        );
+        // The analyzer's slowest item is the run report's slowest app.
+        let slowest_app = c
+            .results
+            .iter()
+            .max_by_key(|x| x.wall)
+            .map(|x| x.app.code)
+            .unwrap();
+        assert_eq!(c.max_item_wall, c.result(slowest_app).wall);
+        let (path, ns) = r.slowest_item.as_ref().expect("items were traced");
+        assert_eq!(
+            crate::trace_report::TraceReport::app_of(path),
+            Some(slowest_app)
+        );
+        // The traced duration and the measured wall bracket the same work.
+        let measured = c.max_item_wall.as_nanos() as u64;
+        assert!(*ns >= measured, "item span contains the simulate call");
     }
 }

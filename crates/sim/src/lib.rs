@@ -33,6 +33,7 @@ pub mod figures;
 pub mod metrics;
 pub mod store;
 pub mod table;
+pub mod trace_report;
 
 pub use campaign::{
     parallel_map, AppFailure, AppResult, Campaign, CampaignOptions, Parallelism, RunReport,
@@ -40,3 +41,4 @@ pub use campaign::{
 };
 pub use store::{ResultStore, STORE_FORMAT_VERSION};
 pub use table::Table;
+pub use trace_report::{TraceReport, TraceRow};

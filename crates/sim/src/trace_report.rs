@@ -1,0 +1,327 @@
+//! Critical-path analysis of a campaign trace.
+//!
+//! [`TraceReport::from_events`] takes the merged span stream of a traced
+//! run (see [`bvf_obs::trace`]) and attributes each campaign's wall time
+//! to the chain that actually blocked it: setup before the first item
+//! started, queue time until the *blocking* item (the one that finished
+//! last) began, the blocking item itself decomposed into store consult,
+//! simulation, and store save, and the assembly tail split into shard
+//! merge / DRAM replay versus the remaining bookkeeping.
+//!
+//! The rows are a *partition* of the campaign span: they are computed as
+//! differences of the span's own boundary timestamps, so by construction
+//! they sum back to the measured wall (the acceptance test holds this to
+//! within 1%, leaving room only for the saturating clamps on pathological
+//! timer skew).
+
+use std::fmt;
+
+use bvf_obs::TraceEvent;
+
+/// One attribution row: a label and its self-time share of the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRow {
+    /// What the time went to (e.g. `"simulate (launches)"`).
+    pub label: &'static str,
+    /// Self time in nanoseconds. Rows are disjoint and sum to
+    /// [`TraceReport::wall_ns`].
+    pub nanos: u64,
+}
+
+/// Critical-path attribution for one traced campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// The campaign's causal root, `campaign:<label>`.
+    pub campaign: String,
+    /// The campaign span's measured duration.
+    pub wall_ns: u64,
+    /// Disjoint self-time rows summing to `wall_ns`.
+    pub rows: Vec<TraceRow>,
+    /// The item with the largest duration (its causal path and nanos) —
+    /// must name the same item as `RunReport.max_item_wall`.
+    pub slowest_item: Option<(String, u64)>,
+    /// The item that finished last — the one the merge barrier waited on.
+    pub blocking_item: Option<(String, u64)>,
+}
+
+/// An item span: a worker-side `.../app:<code>/shard:<s>` event.
+fn is_item(e: &TraceEvent) -> bool {
+    e.cat == "sched" && e.name().starts_with("shard:")
+}
+
+/// A merge span: the main-thread `.../app:<code>/merge` assembly event
+/// (shard merge plus the global DRAM replay inside `merge_shards`).
+fn is_merge(e: &TraceEvent) -> bool {
+    e.cat == "sched" && e.name() == "merge"
+}
+
+impl TraceReport {
+    /// Analyze every campaign in a merged event stream (a traced
+    /// `reproduce` run records several campaigns into one sink), in the
+    /// order their roots appear.
+    pub fn from_events(events: &[TraceEvent]) -> Vec<TraceReport> {
+        let mut out = Vec::new();
+        for root in events.iter().filter(|e| e.cat == "campaign") {
+            out.push(Self::for_campaign(root, events));
+        }
+        out
+    }
+
+    fn for_campaign(root: &TraceEvent, events: &[TraceEvent]) -> TraceReport {
+        let prefix = format!("{}/", root.path);
+        let c0 = root.t0_ns;
+        let c1 = root.t0_ns + root.dur_ns;
+        let in_scope = |e: &&TraceEvent| e.path.starts_with(&prefix);
+
+        let items: Vec<&TraceEvent> = events
+            .iter()
+            .filter(in_scope)
+            .filter(|e| is_item(e))
+            .collect();
+        let slowest_item = items
+            .iter()
+            .max_by_key(|e| (e.dur_ns, &e.path))
+            .map(|e| (e.path.clone(), e.dur_ns));
+        let blocking = items
+            .iter()
+            .max_by_key(|e| (e.t0_ns + e.dur_ns, &e.path))
+            .copied();
+        let blocking_item = blocking.map(|e| (e.path.clone(), e.dur_ns));
+
+        let first_start = items
+            .iter()
+            .map(|e| e.t0_ns)
+            .min()
+            .unwrap_or(c1)
+            .clamp(c0, c1);
+        let (block_start, block_end) = blocking
+            .map(|e| {
+                (
+                    (e.t0_ns).clamp(first_start, c1),
+                    (e.t0_ns + e.dur_ns).clamp(first_start, c1),
+                )
+            })
+            .unwrap_or((first_start, first_start));
+
+        // Decompose the blocking item by its own child spans.
+        let mut consult = 0u64;
+        let mut simulate = 0u64;
+        let mut save = 0u64;
+        if let Some(block) = blocking {
+            let child_prefix = format!("{}/", block.path);
+            for e in events.iter().filter(|e| e.path.starts_with(&child_prefix)) {
+                match e.name() {
+                    "store:load" => consult += e.dur_ns,
+                    "store:save" => save += e.dur_ns,
+                    name if name.starts_with("launch:") && e.cat == "gpu" => {
+                        // Direct launches only — a cache-verify resim lives
+                        // under `.../verify/launch:n` and is store-consult
+                        // work, not the item's own simulation.
+                        if e.path[child_prefix.len()..].split('/').count() == 1 {
+                            simulate += e.dur_ns;
+                        } else {
+                            consult += e.dur_ns;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let block_dur = block_end - block_start;
+        // Clamp the decomposition into the item's own duration so the
+        // partition stays exact even under timer skew.
+        consult = consult.min(block_dur);
+        simulate = simulate.min(block_dur - consult);
+        save = save.min(block_dur - consult - simulate);
+        let item_overhead = block_dur - consult - simulate - save;
+
+        // Tail: blocking item end → campaign end. Merge spans (shard
+        // merge + DRAM replay) happen in this window on the main thread.
+        let tail = c1 - block_end;
+        let merge_total: u64 = events
+            .iter()
+            .filter(in_scope)
+            .filter(|e| is_merge(e))
+            .map(|e| e.dur_ns)
+            .sum();
+        let merge = merge_total.min(tail);
+        let assembly = tail - merge;
+
+        let rows = vec![
+            TraceRow {
+                label: "setup",
+                nanos: first_start - c0,
+            },
+            TraceRow {
+                label: "queue wait",
+                nanos: block_start - first_start,
+            },
+            TraceRow {
+                label: "store consult",
+                nanos: consult,
+            },
+            TraceRow {
+                label: "simulate (launches)",
+                nanos: simulate,
+            },
+            TraceRow {
+                label: "store save",
+                nanos: save,
+            },
+            TraceRow {
+                label: "item overhead",
+                nanos: item_overhead,
+            },
+            TraceRow {
+                label: "merge + DRAM replay",
+                nanos: merge,
+            },
+            TraceRow {
+                label: "assembly",
+                nanos: assembly,
+            },
+        ];
+        TraceReport {
+            campaign: root.path.clone(),
+            wall_ns: root.dur_ns,
+            rows,
+            slowest_item,
+            blocking_item,
+        }
+    }
+
+    /// The sum of the self-time rows (equals `wall_ns` by construction).
+    pub fn rows_total_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.nanos).sum()
+    }
+
+    /// The application code inside an item path, if present.
+    pub fn app_of(path: &str) -> Option<&str> {
+        path.split('/').find_map(|seg| seg.strip_prefix("app:"))
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        writeln!(f, "critical path — {}", self.campaign)?;
+        let wall = self.wall_ns.max(1);
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:<22} {:>12.3} ms  {:>5.1}%",
+                row.label,
+                ms(row.nanos),
+                row.nanos as f64 * 100.0 / wall as f64,
+            )?;
+        }
+        writeln!(
+            f,
+            "  {:<22} {:>12.3} ms  100.0%",
+            "campaign wall",
+            ms(self.wall_ns)
+        )?;
+        if let Some((path, ns)) = &self.slowest_item {
+            writeln!(f, "  slowest item   {path} ({:.3} ms)", ms(*ns))?;
+        }
+        if let Some((path, ns)) = &self.blocking_item {
+            writeln!(f, "  blocking item  {path} ({:.3} ms)", ms(*ns))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(path: &str, cat: &'static str, t0: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            path: path.to_string(),
+            cat,
+            seq: 0,
+            tid: 0,
+            t0_ns: t0,
+            dur_ns: dur,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn partition_sums_to_campaign_wall() {
+        let events = vec![
+            ev("campaign:t", "campaign", 100, 1000),
+            ev("campaign:t/app:AAA/shard:0", "sched", 150, 300),
+            ev("campaign:t/app:AAA/shard:0/store:load", "store", 150, 10),
+            ev("campaign:t/app:AAA/shard:0/launch:0", "gpu", 170, 250),
+            ev("campaign:t/app:AAA/shard:0/store:save", "store", 430, 15),
+            ev("campaign:t/app:BBB/shard:0", "sched", 150, 700),
+            ev("campaign:t/app:BBB/shard:0/launch:0", "gpu", 160, 600),
+            ev("campaign:t/app:AAA/merge", "sched", 900, 40),
+            ev("campaign:t/app:BBB/merge", "sched", 950, 60),
+        ];
+        let reports = TraceReport::from_events(&events);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.wall_ns, 1000);
+        assert_eq!(r.rows_total_ns(), r.wall_ns);
+        let row = |label: &str| r.rows.iter().find(|x| x.label == label).unwrap().nanos;
+        assert_eq!(row("setup"), 50); // 100 → 150
+        assert_eq!(row("queue wait"), 0); // blocking item started first
+        assert_eq!(row("simulate (launches)"), 600);
+        assert_eq!(row("merge + DRAM replay"), 100);
+        assert_eq!(row("assembly"), 150); // 850→1100 tail is 250, minus 100 merge
+        assert_eq!(
+            r.slowest_item.as_deref_path(),
+            Some(("campaign:t/app:BBB/shard:0", 700))
+        );
+        assert_eq!(
+            r.blocking_item.as_deref_path(),
+            Some(("campaign:t/app:BBB/shard:0", 700))
+        );
+    }
+
+    // Small helper so the assertions above read naturally.
+    trait DerefPath {
+        fn as_deref_path(&self) -> Option<(&str, u64)>;
+    }
+    impl DerefPath for Option<(String, u64)> {
+        fn as_deref_path(&self) -> Option<(&str, u64)> {
+            self.as_ref().map(|(p, n)| (p.as_str(), *n))
+        }
+    }
+
+    #[test]
+    fn verify_launches_count_as_consult_not_simulate() {
+        let events = vec![
+            ev("campaign:t", "campaign", 0, 500),
+            ev("campaign:t/app:AAA/shard:0", "sched", 0, 400),
+            ev("campaign:t/app:AAA/shard:0/store:load", "store", 0, 20),
+            ev("campaign:t/app:AAA/shard:0/verify/launch:0", "gpu", 30, 300),
+        ];
+        let r = &TraceReport::from_events(&events)[0];
+        let row = |label: &str| r.rows.iter().find(|x| x.label == label).unwrap().nanos;
+        assert_eq!(row("store consult"), 320);
+        assert_eq!(row("simulate (launches)"), 0);
+        assert_eq!(r.rows_total_ns(), 500);
+    }
+
+    #[test]
+    fn empty_campaign_attributes_everything_to_setup_and_assembly() {
+        let events = vec![ev("campaign:t", "campaign", 10, 90)];
+        let r = &TraceReport::from_events(&events)[0];
+        assert_eq!(r.rows_total_ns(), 90);
+        assert!(r.slowest_item.is_none());
+        let row = |label: &str| r.rows.iter().find(|x| x.label == label).unwrap().nanos;
+        assert_eq!(row("setup"), 90);
+    }
+
+    #[test]
+    fn app_of_extracts_code() {
+        assert_eq!(
+            TraceReport::app_of("campaign:t/app:SGE/shard:3"),
+            Some("SGE")
+        );
+        assert_eq!(TraceReport::app_of("campaign:t"), None);
+    }
+}

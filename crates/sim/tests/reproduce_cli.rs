@@ -29,6 +29,8 @@ fn bad_arguments_exit_2_without_running() {
         &["--shards"],
         &["--shards", "0"],
         &["--shards", "many"],
+        &["--trace"],
+        &["--trace", "--profile"], // flag where a value belongs
     ] {
         let out = reproduce().args(argv).output().expect("spawn reproduce");
         assert_eq!(
@@ -404,4 +406,110 @@ fn injected_panic_completes_the_run_and_exits_1() {
         err.contains("BFS") && err.contains("injected fault"),
         "summary must name the app and the panic payload: {err}"
     );
+}
+
+/// Read a trace file and scrub it down to its deterministic core.
+fn scrubbed_trace(p: &PathBuf) -> String {
+    let text = std::fs::read_to_string(p).expect("trace file");
+    bvf_obs::trace::scrub_chrome(&text)
+        .unwrap_or_else(|e| panic!("{} is not a valid trace: {e}", p.display()))
+}
+
+/// The tracing contract end to end: `--trace` writes a Chrome trace-event
+/// file whose scrubbed form is byte-identical whatever `--jobs` and
+/// `--shards` were, and `--trace-report` prints a critical-path table
+/// whose rows account for the campaign wall.
+#[test]
+fn traced_runs_scrub_identically_across_jobs_and_shards() {
+    let (t_seq, t_par) = (mine("trace_seq.json"), mine("trace_par.json"));
+    let seq = reproduce()
+        .args(["quick", "--jobs", "1", "--trace-report", "--trace"])
+        .arg(&t_seq)
+        .output()
+        .expect("spawn reproduce");
+    assert!(
+        seq.status.success(),
+        "sequential traced run failed: {seq:?}"
+    );
+    let par = reproduce()
+        .args(["quick", "--jobs", "3", "--shards", "auto", "--trace"])
+        .arg(&t_par)
+        .output()
+        .expect("spawn reproduce");
+    assert!(par.status.success(), "sharded traced run failed: {par:?}");
+
+    assert_eq!(
+        String::from_utf8_lossy(&seq.stdout),
+        String::from_utf8_lossy(&par.stdout),
+        "tracing must not change the exhibits"
+    );
+    // The raw files are valid Chrome trace JSON with span events.
+    let raw = std::fs::read_to_string(&t_seq).expect("trace file");
+    let v = json::parse(&raw).expect("trace is JSON");
+    let Some(Value::Array(events)) = v.get("traceEvents") else {
+        panic!("no traceEvents array");
+    };
+    assert!(!events.is_empty(), "empty trace");
+    assert_eq!(
+        v.get("droppedEvents").and_then(Value::as_f64),
+        Some(0.0),
+        "a quick run must not overflow the sink"
+    );
+    // Scrubbed, the two traces agree byte for byte.
+    assert_eq!(
+        scrubbed_trace(&t_seq),
+        scrubbed_trace(&t_par),
+        "scrubbed traces differ between modes"
+    );
+    // The report ran on stderr: one table per campaign, each naming the
+    // partition rows and the slowest item.
+    let err = String::from_utf8_lossy(&seq.stderr);
+    assert!(
+        err.contains("critical path — campaign:main"),
+        "no report: {err}"
+    );
+    assert!(err.contains("campaign wall"), "no wall row: {err}");
+    assert!(err.contains("slowest item"), "no slowest item: {err}");
+
+    for p in [&t_seq, &t_par] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// A worker panic mid-campaign must not lose or perturb the deterministic
+/// trace: the spans flushed before the unwind plus the failure span scrub
+/// to the same bytes whatever the worker count or shard mode.
+#[test]
+fn panicking_traced_runs_scrub_identically() {
+    let (t_a, t_b) = (mine("trace_panic_a.json"), mine("trace_panic_b.json"));
+    let a = reproduce()
+        .args(["quick", "--jobs", "2", "--inject-panic", "BFS", "--trace"])
+        .arg(&t_a)
+        .output()
+        .expect("spawn reproduce");
+    assert_eq!(a.status.code(), Some(1), "failures must still exit 1");
+    let b = reproduce()
+        .args([
+            "quick",
+            "--jobs",
+            "1",
+            "--shards",
+            "auto",
+            "--inject-panic",
+            "BFS",
+            "--trace",
+        ])
+        .arg(&t_b)
+        .output()
+        .expect("spawn reproduce");
+    assert_eq!(b.status.code(), Some(1));
+    let s = scrubbed_trace(&t_a);
+    assert!(
+        s.contains(r#""failed":1"#),
+        "failure span missing from scrubbed trace"
+    );
+    assert_eq!(s, scrubbed_trace(&t_b), "panic traces differ between modes");
+    for p in [&t_a, &t_b] {
+        let _ = std::fs::remove_file(p);
+    }
 }
