@@ -61,7 +61,17 @@ impl CacheConfig {
 
     /// Number of sets.
     pub fn sets(self) -> u64 {
-        self.bytes / u64::from(self.line_bytes) / u64::from(self.assoc)
+        // Floor division composes (⌊⌊x/a⌋/b⌋ = ⌊x/(ab)⌋), so the combined
+        // divisor can be tested for the shift form once. Every shipped
+        // config is power-of-two sized; the hot set lookup runs per issue
+        // (L1I) and per line (L1D/L2), where a hardware divide is
+        // measurable.
+        let per_set = u64::from(self.line_bytes) * u64::from(self.assoc);
+        if per_set.is_power_of_two() {
+            self.bytes >> per_set.trailing_zeros()
+        } else {
+            self.bytes / per_set
+        }
     }
 }
 
@@ -131,7 +141,12 @@ impl Cache {
 
     /// Base address of the line containing `addr`.
     pub fn line_base(&self, addr: u64) -> u64 {
-        addr - addr % u64::from(self.config.line_bytes)
+        let lb = u64::from(self.config.line_bytes);
+        if lb.is_power_of_two() {
+            addr & !(lb - 1)
+        } else {
+            addr - addr % lb
+        }
     }
 
     /// Look up `addr`; on a miss the line is filled (allocated, possibly
@@ -189,8 +204,18 @@ impl Cache {
     }
 
     fn set_range(&self, line: u64) -> (usize, usize) {
+        let lb = u64::from(self.config.line_bytes);
+        let line_idx = if lb.is_power_of_two() {
+            line >> lb.trailing_zeros()
+        } else {
+            line / lb
+        };
         let sets = self.config.sets();
-        let set = ((line / u64::from(self.config.line_bytes)) % sets) as usize;
+        let set = if sets.is_power_of_two() {
+            (line_idx & (sets - 1)) as usize
+        } else {
+            (line_idx % sets) as usize
+        };
         let assoc = self.config.assoc as usize;
         (set * assoc, set * assoc + assoc)
     }

@@ -92,6 +92,32 @@ impl GlobalMemory {
         b.words[idx as usize % b.words.len()]
     }
 
+    /// Resolve a buffer once for a warp-wide access: its base byte address
+    /// and word contents. Per-lane [`GlobalMemory::load`] calls pay the
+    /// buffer lookup 32 times per instruction; warp loops resolve the view
+    /// once instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not registered.
+    pub fn buffer_view(&self, id: BufferId) -> (u64, &[u32]) {
+        let b = self.expect(id);
+        (b.base, &b.words)
+    }
+
+    /// Mutable form of [`GlobalMemory::buffer_view`] for warp-wide stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not registered.
+    pub fn buffer_view_mut(&mut self, id: BufferId) -> (u64, &mut [u32]) {
+        let b = self
+            .buffers
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("buffer {id:?} not registered"));
+        (b.base, &mut b.words)
+    }
+
     /// Store `value` at `idx` (wrapping) in buffer `id`.
     pub fn store(&mut self, id: BufferId, idx: u32, value: u32) {
         let b = self

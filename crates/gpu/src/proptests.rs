@@ -6,11 +6,13 @@ use proptest::prelude::*;
 use crate::cache::{Access, Cache, CacheConfig};
 use crate::config::SchedulerKind;
 use crate::dram::{DramChannel, DramConfig, DramRequest};
+use crate::exec::{AddrPattern, FlatProgram, Warp, WarpEnv};
 use crate::sched::Scheduler;
 use crate::sim::{merge_shards, shard_sm_range};
 use crate::stats::CodingView;
 use crate::{Gpu, GpuConfig};
-use bvf_isa::ir::{BufferId, Kernel, LaunchConfig, Op, Operand, Special, Stmt};
+use bvf_isa::ir::{BufferId, CmpOp, Cond, Kernel, LaunchConfig, Op, Operand, Special, Stmt};
+use bvf_isa::Architecture;
 
 /// Vector add over buffers 0+1 into 2 — touches registers, both cache
 /// levels, the NoC and DRAM, so every merged counter is exercised.
@@ -44,6 +46,197 @@ fn vecadd() -> Kernel {
         Operand::Reg(3),
     ));
     k
+}
+
+/// Decode one operand from seed bits: immediates, low registers (so
+/// programs read their own results), and the full special set — mixing
+/// warp-uniform (`CtaIdX`) with lane-varying (`LaneId`/`GlobalTid`)
+/// sources so uniformity is gained and lost along the program.
+fn decode_operand(sel: u32, val: u32) -> Operand {
+    match sel % 6 {
+        0 | 1 => Operand::Imm(val % 64),
+        2 => Operand::Reg((val % 6) as u8),
+        3 => Operand::Special(Special::LaneId),
+        4 => Operand::Special(Special::GlobalTid),
+        _ => Operand::Special(Special::CtaIdX),
+    }
+}
+
+fn decode_cmp(sel: u32) -> CmpOp {
+    match sel % 4 {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        _ => CmpOp::Ge,
+    }
+}
+
+/// Decode a structured kernel body from a seed stream: ALU instructions
+/// (integer and float), shared/global loads and stores, loops (including
+/// zero-trip, for re-entry coverage), and divergent `If`s with and without
+/// else arms. `budget` bounds total statement count across nesting.
+fn decode_stmts(words: &mut std::slice::Iter<'_, u32>, depth: u32, budget: &mut u32) -> Vec<Stmt> {
+    let mut body = Vec::new();
+    while *budget > 0 {
+        let Some(&w) = words.next() else { break };
+        *budget -= 1;
+        let dst = ((w >> 3) % 6) as u8;
+        let a = decode_operand(w >> 8, w >> 11);
+        let b = decode_operand(w >> 17, w >> 20);
+        let c = decode_operand(w >> 26, (w >> 29) ^ w);
+        let imm_off = Operand::Imm((w >> 7) % 32);
+        match w % 12 {
+            0 if depth < 2 => {
+                let inner = decode_stmts(words, depth + 1, budget);
+                body.push(Stmt::For {
+                    n: (w >> 4) & 3,
+                    body: inner,
+                });
+            }
+            1 | 2 if depth < 2 => {
+                let cond = Cond {
+                    a,
+                    op: decode_cmp(w >> 6),
+                    b,
+                };
+                let then = decode_stmts(words, depth + 1, budget);
+                let els = if w & 1 == 1 {
+                    decode_stmts(words, depth + 1, budget)
+                } else {
+                    Vec::new()
+                };
+                body.push(Stmt::If { cond, then, els });
+            }
+            3 => body.push(Stmt::op3(Op::LdShared, dst, a, imm_off)),
+            4 => body.push(Stmt::op4(Op::StShared, 0, a, imm_off, c)),
+            5 => body.push(Stmt::op3(Op::LdGlobal(BufferId(0)), dst, a, imm_off)),
+            6 => body.push(Stmt::op4(Op::StGlobal(BufferId(0)), 0, a, imm_off, c)),
+            _ => {
+                let op = match (w >> 5) % 10 {
+                    0 => Op::Mov,
+                    1 => Op::IAdd,
+                    2 => Op::ISub,
+                    3 => Op::IMul,
+                    4 => Op::IMad,
+                    5 => Op::And,
+                    6 => Op::Xor,
+                    7 => Op::Shr,
+                    8 => Op::FAdd,
+                    _ => Op::FMul,
+                };
+                body.push(Stmt::op4(op, dst, a, b, c));
+            }
+        }
+    }
+    body
+}
+
+fn decode_kernel(seed: &[u32]) -> Kernel {
+    let mut k = Kernel::new("prop_uniformity", 6);
+    let mut budget = seed.len() as u32;
+    k.body = decode_stmts(&mut seed.iter(), 0, &mut budget);
+    k
+}
+
+/// Bare-warp environment for the uniformity proptests: shared memory is a
+/// flat array, global loads are a pure per-lane function of the index
+/// (satisfying the `WarpEnv` load contract), and every callback folds its
+/// arguments — except the `AddrPattern` hint and the uniform-instruction
+/// count, which legitimately differ between scalarized and reference runs —
+/// into a running hash so event streams can be compared across runs.
+struct HashingEnv {
+    shared: Vec<u32>,
+    hash: u64,
+    events: u64,
+    uniform_instructions: u64,
+}
+
+impl HashingEnv {
+    fn new() -> Self {
+        Self {
+            shared: vec![0; 64],
+            hash: 0xcbf2_9ce4_8422_2325,
+            events: 0,
+            uniform_instructions: 0,
+        }
+    }
+
+    fn mix(&mut self, tag: u64, words: &[u32]) {
+        self.events += 1;
+        let mut h = self.hash ^ tag;
+        for &w in words {
+            h = (h ^ u64::from(w)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.hash = h;
+    }
+}
+
+impl WarpEnv for HashingEnv {
+    fn on_reg_read(&mut self, reg_lanes: &[u32; 32], active: u32) {
+        let mut v = [0u32; 33];
+        v[..32].copy_from_slice(reg_lanes);
+        v[32] = active;
+        self.mix(1, &v);
+    }
+    fn on_reg_write(&mut self, reg_lanes: &[u32; 32], active: u32, pivot_divergent: bool) {
+        let mut v = [0u32; 34];
+        v[..32].copy_from_slice(reg_lanes);
+        v[32] = active;
+        v[33] = u32::from(pivot_divergent);
+        self.mix(2, &v);
+    }
+    fn on_ifetch(&mut self, pc: usize, word: u64) {
+        self.mix(3, &[pc as u32, word as u32, (word >> 32) as u32]);
+    }
+    fn on_uniform_instruction(&mut self) {
+        self.uniform_instructions += 1;
+    }
+    fn global_access(
+        &mut self,
+        _op: Op,
+        indices: &[u32; 32],
+        data: Option<&[u32; 32]>,
+        active: u32,
+        _pattern: AddrPattern,
+    ) -> [u32; 32] {
+        let mut v = [0u32; 33];
+        v[..32].copy_from_slice(indices);
+        v[32] = active;
+        self.mix(4, &v);
+        if let Some(d) = data {
+            self.mix(5, d);
+            [0; 32]
+        } else {
+            core::array::from_fn(|l| indices[l].wrapping_mul(2_654_435_761))
+        }
+    }
+    fn shared_access(
+        &mut self,
+        _op: Op,
+        indices: &[u32; 32],
+        data: Option<&[u32; 32]>,
+        active: u32,
+        _pattern: AddrPattern,
+    ) -> [u32; 32] {
+        let mut v = [0u32; 33];
+        v[..32].copy_from_slice(indices);
+        v[32] = active;
+        self.mix(6, &v);
+        let n = self.shared.len();
+        if let Some(d) = data {
+            self.mix(7, d);
+            for l in 0..32 {
+                if active >> l & 1 == 1 {
+                    self.shared[indices[l] as usize % n] = d[l];
+                }
+            }
+            [0; 32]
+        } else {
+            let out = core::array::from_fn(|l| self.shared[indices[l] as usize % n]);
+            self.mix(8, &out);
+            out
+        }
+    }
 }
 
 fn prepared_gpu(sms: u32, words: usize, seed: u32) -> Gpu {
@@ -236,5 +429,83 @@ proptest! {
         prop_assert_eq!(&merged, &sequential);
         prop_assert_eq!(merged.cycles, sequential.cycles);
         prop_assert_eq!(out, expected_out);
+    }
+
+    /// The uniformity bitmask is always *conservative*: after every single
+    /// step of a random kernel — divergent writes, loop re-entry, `IfEnd`
+    /// reconvergence included — a register flagged uniform really holds 32
+    /// equal lanes, and a register flagged affine is truly unit-stride.
+    #[test]
+    fn uniform_mask_is_always_conservative(
+        seed in proptest::collection::vec(any::<u32>(), 4..48),
+        cta_id in 0u32..3,
+        warp_in_cta in 0u32..4,
+    ) {
+        let k = decode_kernel(&seed);
+        let prog = FlatProgram::compile(&k, Architecture::Pascal);
+        let mut warp = Warp::new(k.regs_per_thread, cta_id, warp_in_cta, 128);
+        let mut env = HashingEnv::new();
+        let mut steps = 0u32;
+        while !warp.is_done() {
+            warp.step(&prog, &mut env);
+            warp.assert_lane_class_invariant();
+            steps += 1;
+            prop_assert!(steps < 200_000, "kernel did not terminate");
+        }
+    }
+
+    /// Scalarized execution (uniform fast paths + block dispatch) is
+    /// bit-identical to the pure lane-wise reference: same final register
+    /// file, same program counter trace, and the same environment event
+    /// stream (every callback, in the same order, with the same payloads).
+    #[test]
+    fn scalarized_execution_matches_lanewise_reference(
+        seed in proptest::collection::vec(any::<u32>(), 4..48),
+        cta_id in 0u32..3,
+        warp_in_cta in 0u32..4,
+    ) {
+        let k = decode_kernel(&seed);
+        let prog = FlatProgram::compile(&k, Architecture::Pascal);
+
+        // Reference: scalarization off, one op per step.
+        let mut reference = Warp::new(k.regs_per_thread, cta_id, warp_in_cta, 128);
+        reference.set_scalarize(false);
+        let mut renv = HashingEnv::new();
+        let mut steps = 0u32;
+        while !reference.is_done() {
+            reference.step(&prog, &mut renv);
+            steps += 1;
+            prop_assert!(steps < 200_000, "kernel did not terminate");
+        }
+        prop_assert_eq!(renv.uniform_instructions, 0);
+
+        // Scalarized, stepped per-op.
+        let mut scalar = Warp::new(k.regs_per_thread, cta_id, warp_in_cta, 128);
+        let mut senv = HashingEnv::new();
+        while !scalar.is_done() {
+            scalar.step(&prog, &mut senv);
+        }
+
+        // Scalarized, dispatched in maximal runs.
+        let mut batched = Warp::new(k.regs_per_thread, cta_id, warp_in_cta, 128);
+        let mut benv = HashingEnv::new();
+        let mut issued = 0u64;
+        while !batched.is_done() {
+            let (_, n) = batched.step_run(&prog, &mut benv, u64::MAX);
+            issued += n;
+        }
+
+        prop_assert_eq!(issued, u64::from(steps));
+        for r in 0..k.regs_per_thread {
+            prop_assert_eq!(reference.reg_lanes(r), scalar.reg_lanes(r), "r{}", r);
+            prop_assert_eq!(reference.reg_lanes(r), batched.reg_lanes(r), "r{}", r);
+        }
+        prop_assert_eq!(renv.events, senv.events);
+        prop_assert_eq!(renv.hash, senv.hash, "event stream diverged (scalar)");
+        prop_assert_eq!(renv.events, benv.events);
+        prop_assert_eq!(renv.hash, benv.hash, "event stream diverged (batched)");
+        prop_assert_eq!(&renv.shared, &senv.shared);
+        prop_assert_eq!(&renv.shared, &benv.shared);
+        prop_assert_eq!(senv.uniform_instructions, benv.uniform_instructions);
     }
 }

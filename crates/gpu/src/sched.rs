@@ -49,6 +49,19 @@ impl Scheduler {
         self.kind
     }
 
+    /// How many consecutive non-yielding ops one `pick` may issue without
+    /// changing which warp the policy would select next. GTO re-picks the
+    /// greedy warp after every `Ok` step, so a whole straight-line run can
+    /// issue under one slot with identical semantics; LRR and two-level
+    /// rotate on every pick, so batching would reorder the instruction
+    /// interleaving (and with it I-cache and NoC event sequencing).
+    pub fn max_consecutive(&self) -> u64 {
+        match self.kind {
+            SchedulerKind::Gto => u64::MAX,
+            SchedulerKind::Lrr | SchedulerKind::TwoLevel => 1,
+        }
+    }
+
     /// Pick the next warp to issue from `ready` (indices of ready warps,
     /// ascending = oldest first). Returns `None` when nothing is ready.
     pub fn pick(&mut self, ready: &[bool]) -> Option<usize> {

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{Access, Cache};
 use crate::config::GpuConfig;
 use crate::dram::{DramChannel, DramConfig, DramRequest, DramStats};
-use crate::exec::{FlatProgram, StepResult, Warp, WarpEnv};
+use crate::exec::{AddrPattern, FlatProgram, StepResult, Warp, WarpEnv};
 use crate::memory::GlobalMemory;
 use crate::noc::{channel_id, cmd, flits_for, header, Direction};
 use crate::phase::{Phase, PhaseProfile, SimMetrics};
@@ -729,12 +729,29 @@ impl WarpEnv for SmEnv<'_> {
                 .reg_write_counter
                 .is_multiple_of(LANE_SAMPLE_INTERVAL)
             {
-                for i in 0..32 {
-                    for j in (i + 1)..32 {
-                        let d = u64::from((reg_lanes[i] ^ reg_lanes[j]).count_ones());
-                        self.shared.lane_sums[i] += d;
-                        self.shared.lane_sums[j] += d;
+                // Bit-sliced pairwise lane distance. For lane i the pairwise
+                // loop sums popcount(l_i ^ l_j) over j != i; per bit b that
+                // is (32 - ones_b) when lane i has the bit set and ones_b
+                // when clear (ones_b = set lanes at bit b), which folds to
+                //   total + 32*popcount(l_i) - 2 * sum_{b in l_i} ones_b
+                // with total = sum_b ones_b — identical integers to the
+                // O(32^2) XOR/popcount scan at a fraction of the work.
+                let mut planes = *reg_lanes;
+                bvf_bits::transpose32(&mut planes);
+                let mut ones = [0u64; 32];
+                let mut total = 0u64;
+                for (o, p) in ones.iter_mut().zip(planes) {
+                    *o = u64::from(p.count_ones());
+                    total += *o;
+                }
+                for (sum, &v) in self.shared.lane_sums.iter_mut().zip(reg_lanes) {
+                    let mut s = 0u64;
+                    let mut m = v;
+                    while m != 0 {
+                        s += ones[m.trailing_zeros() as usize];
+                        m &= m - 1;
                     }
+                    *sum += total + 32 * u64::from(v.count_ones()) - 2 * s;
                 }
                 self.shared.lane_samples += 1;
             }
@@ -809,12 +826,17 @@ impl WarpEnv for SmEnv<'_> {
         self.shared.rec.end(span);
     }
 
+    fn on_uniform_instruction(&mut self) {
+        self.shared.rec.add(self.shared.m.uniform_ops, 1);
+    }
+
     fn global_access(
         &mut self,
         op: Op,
         indices: &[u32; 32],
         data: Option<&[u32; 32]>,
         active: u32,
+        pattern: AddrPattern,
     ) -> [u32; 32] {
         let (buf, l1_unit) = match op {
             Op::LdGlobal(b) | Op::StGlobal(b) => (b, Unit::L1d),
@@ -829,31 +851,68 @@ impl WarpEnv for SmEnv<'_> {
         if let Some(values) = data {
             // Store: update (this SM's image of) memory first, then
             // coalesce lines to L2. The log replays the write onto the
-            // caller-visible memory after the SM loop.
+            // caller-visible memory after the SM loop. The buffer is
+            // resolved once for the warp; the in-range branch keeps the
+            // wrapping `%` off the common path.
+            let (_, words) = self.shared.memory.buffer_view_mut(buf);
+            let n = words.len();
             for lane in 0..32 {
                 if active >> lane & 1 == 1 {
-                    self.shared.memory.store(buf, indices[lane], values[lane]);
+                    let i = indices[lane] as usize;
+                    words[if i < n { i } else { i % n }] = values[lane];
                     self.shared
                         .store_log
                         .push((buf, indices[lane], values[lane]));
                 }
             }
             self.profile_global_data(values, active);
-            let (lines, n) = coalesce_lines(&self.shared.memory, buf, indices, active, line_bytes);
+            let (lines, n) = coalesce_lines(
+                &self.shared.memory,
+                buf,
+                indices,
+                active,
+                line_bytes,
+                pattern,
+            );
             for &line in &lines[..n] {
                 self.data_line_store(line);
             }
         } else {
-            // Load: functional data plus cache/NoC/L2 traffic.
-            for lane in 0..32 {
-                if active >> lane & 1 == 1 {
-                    out[lane] = self.shared.memory.load(buf, indices[lane]);
+            // Load: functional data plus cache/NoC/L2 traffic. One buffer
+            // resolve serves all 32 lanes; a guaranteed-contiguous stride-1
+            // span is a single slice copy and a uniform index one load plus
+            // a splat (the load contract in `WarpEnv` requires exactly the
+            // lane-wise equivalence).
+            let (_, words) = self.shared.memory.buffer_view(buf);
+            let n = words.len();
+            let first = indices[0] as usize;
+            if pattern == AddrPattern::Uniform && active == u32::MAX {
+                out = [words[if first < n { first } else { first % n }]; 32];
+            } else if pattern == AddrPattern::Stride1
+                && active == u32::MAX
+                && indices[0] <= u32::MAX - 31
+                && first + 31 < n
+            {
+                out.copy_from_slice(&words[first..first + 32]);
+            } else {
+                for lane in 0..32 {
+                    if active >> lane & 1 == 1 {
+                        let i = indices[lane] as usize;
+                        out[lane] = words[if i < n { i } else { i % n }];
+                    }
                 }
             }
             if op == Op::LdGlobal(buf) {
                 self.profile_global_data(&out, active);
             }
-            let (lines, n) = coalesce_lines(&self.shared.memory, buf, indices, active, line_bytes);
+            let (lines, n) = coalesce_lines(
+                &self.shared.memory,
+                buf,
+                indices,
+                active,
+                line_bytes,
+                pattern,
+            );
             for &line in &lines[..n] {
                 self.data_line_load(l1_unit, line);
             }
@@ -868,21 +927,54 @@ impl WarpEnv for SmEnv<'_> {
         indices: &[u32; 32],
         data: Option<&[u32; 32]>,
         active: u32,
+        pattern: AddrPattern,
     ) -> [u32; 32] {
         let n = self.smem.len().max(1);
         let mut out = [0u32; 32];
         let span = self.shared.rec.begin(self.shared.m.smem);
-        // Bank-conflict serialization estimate (reused scratch — zeroing a
-        // handful of words beats reallocating per access).
-        let bank_count = &mut self.shared.bank_buf;
-        bank_count.clear();
-        bank_count.resize(self.smem_banks as usize, 0);
-        for lane in 0..32 {
-            if active >> lane & 1 == 1 {
-                bank_count[(indices[lane] % self.smem_banks) as usize] += 1;
+        // Bank-conflict serialization estimate. Uniform and unit-stride
+        // accesses (the common cases) resolve in O(1); only scatters pay
+        // the 32-lane histogram. The model has no broadcast path, so a
+        // uniform access still serializes one cycle per active lane —
+        // identical to what the histogram computes for equal indices.
+        let serial = if active == 0 {
+            0
+        } else if pattern == AddrPattern::Uniform {
+            active.count_ones()
+        } else if pattern == AddrPattern::Stride1
+            && active == u32::MAX
+            && indices[0] <= u32::MAX - 31
+        {
+            // 32 consecutive indices spread round-robin over the banks:
+            // the fullest bank holds ceil(32/banks) lanes. (The index
+            // guard rules out u32 wraparound, which would break the
+            // consecutive-residue argument for non-power-of-two banks.)
+            32u32.div_ceil(self.smem_banks)
+        } else {
+            let bank_count = &mut self.shared.bank_buf;
+            bank_count.clear();
+            bank_count.resize(self.smem_banks as usize, 0);
+            for lane in 0..32 {
+                if active >> lane & 1 == 1 {
+                    bank_count[(indices[lane] % self.smem_banks) as usize] += 1;
+                }
             }
+            bank_count.iter().copied().max().unwrap_or(0)
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut check = vec![0u32; self.smem_banks as usize];
+            for lane in 0..32 {
+                if active >> lane & 1 == 1 {
+                    check[(indices[lane] % self.smem_banks) as usize] += 1;
+                }
+            }
+            assert_eq!(
+                serial,
+                check.iter().copied().max().unwrap_or(0),
+                "smem bank fast path diverged from the histogram ({pattern:?})"
+            );
         }
-        let serial = bank_count.iter().copied().max().unwrap_or(0);
         if serial > 1 {
             self.sm.smem_conflict_cycles += u64::from(serial - 1);
         }
@@ -890,7 +982,8 @@ impl WarpEnv for SmEnv<'_> {
         if let Some(values) = data {
             for lane in 0..32 {
                 if active >> lane & 1 == 1 {
-                    self.smem[indices[lane] as usize % n] = values[lane];
+                    let i = indices[lane] as usize;
+                    self.smem[if i < n { i } else { i % n }] = values[lane];
                 }
             }
             self.shared.rec.add(self.shared.m.smem_events, 1);
@@ -898,9 +991,15 @@ impl WarpEnv for SmEnv<'_> {
                 .collector
                 .record_shared(AccessKind::Write, values, active);
         } else {
-            for lane in 0..32 {
-                if active >> lane & 1 == 1 {
-                    out[lane] = self.smem[indices[lane] as usize % n];
+            if pattern == AddrPattern::Uniform && active == u32::MAX {
+                let i = indices[0] as usize;
+                out = [self.smem[if i < n { i } else { i % n }]; 32];
+            } else {
+                for lane in 0..32 {
+                    if active >> lane & 1 == 1 {
+                        let i = indices[lane] as usize;
+                        out[lane] = self.smem[if i < n { i } else { i % n }];
+                    }
                 }
             }
             self.shared.rec.add(self.shared.m.smem_events, 1);
@@ -1299,10 +1398,16 @@ impl Gpu {
                 continue;
             };
 
-            sm.issues += 1;
             let slot = warp_cta_slot[wi];
+            // Scheduler-aware batching: GTO would re-pick the greedy warp
+            // after every Ok step anyway, so a whole straight-line run may
+            // issue under one slot; rotating policies (LRR, two-level)
+            // change warp on every pick, so their quantum is 1. Every
+            // per-instruction event still fires in the same order — only
+            // the pick/span overhead is amortized.
+            let quantum = sm.scheduler.max_consecutive();
             let step_span = shared.rec.begin(shared.m.step);
-            let result = {
+            let (result, issued) = {
                 let mut env = SmEnv {
                     shared,
                     sm,
@@ -1311,9 +1416,10 @@ impl Gpu {
                     warp_id: wi as u32,
                     instr_words: &prog.words,
                 };
-                warps[wi].step(prog, &mut env)
+                warps[wi].step_run(prog, &mut env, quantum)
             };
-            shared.rec.end(step_span);
+            shared.rec.end_n(step_span, issued);
+            sm.issues += issued;
             match result {
                 StepResult::Ok => {}
                 StepResult::Memory => sm.scheduler.on_stall(wi),
@@ -1340,7 +1446,68 @@ impl Gpu {
 /// Coalesce one warp's active lane addresses into the sorted, deduplicated
 /// set of cache lines they touch. At most 32 lanes → at most 32 lines, so
 /// the result lives on the stack; returns the array and the live count.
+///
+/// Uniform and full-warp unit-stride accesses (the overwhelmingly common
+/// cases) resolve in O(1)/O(lines) from lane 0 alone; only scatters pay the
+/// 32-lane scan-sort-dedup. The fast paths are checked against the scan in
+/// debug builds.
 fn coalesce_lines(
+    memory: &GlobalMemory,
+    buf: bvf_isa::ir::BufferId,
+    indices: &[u32; 32],
+    active: u32,
+    line_bytes: u64,
+    pattern: AddrPattern,
+) -> ([u64; 32], usize) {
+    let fast = match pattern {
+        AddrPattern::Uniform if active != 0 => {
+            // Every lane carries the same index: exactly one line.
+            let a = memory.addr_of(buf, indices[0]);
+            let mut lines = [0u64; 32];
+            lines[0] = a - a % line_bytes;
+            Some((lines, 1))
+        }
+        AddrPattern::Stride1 if active == u32::MAX => {
+            // 32 consecutive indices map to 32 consecutive words — unless
+            // the buffer's index modulo (or u32 index wraparound) splits
+            // the range. The contiguity check catches both: a wrapped tail
+            // restarts at a strictly lower address, so equality can only
+            // hold for an unbroken range.
+            let first = memory.addr_of(buf, indices[0]);
+            let last = memory.addr_of(buf, indices[31]);
+            if last == first + 31 * 4 {
+                let mut lines = [0u64; 32];
+                let mut n = 0usize;
+                let mut line = first - first % line_bytes;
+                let last_line = last - last % line_bytes;
+                while line <= last_line {
+                    lines[n] = line;
+                    n += 1;
+                    line += line_bytes;
+                }
+                Some((lines, n))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    if let Some((lines, n)) = fast {
+        #[cfg(debug_assertions)]
+        {
+            let (check, m) = coalesce_lines_scan(memory, buf, indices, active, line_bytes);
+            assert_eq!(
+                &lines[..n],
+                &check[..m],
+                "coalesce fast path diverged from the scan ({pattern:?})"
+            );
+        }
+        return (lines, n);
+    }
+    coalesce_lines_scan(memory, buf, indices, active, line_bytes)
+}
+
+fn coalesce_lines_scan(
     memory: &GlobalMemory,
     buf: bvf_isa::ir::BufferId,
     indices: &[u32; 32],
@@ -1349,10 +1516,26 @@ fn coalesce_lines(
 ) -> ([u64; 32], usize) {
     let mut lines = [0u64; 32];
     let mut n = 0usize;
+    // One buffer resolve for the whole warp; the line mask takes the shift
+    // form (line sizes are powers of two in every shipped config) and the
+    // wrapping `%` only runs for genuinely out-of-range indices.
+    let (base, words) = memory.buffer_view(buf);
+    let len = words.len() as u64;
+    let line_mask = if line_bytes.is_power_of_two() {
+        !(line_bytes - 1)
+    } else {
+        0
+    };
     for (lane, &idx) in indices.iter().enumerate() {
         if active >> lane & 1 == 1 {
-            let a = memory.addr_of(buf, idx);
-            lines[n] = a - a % line_bytes;
+            let i = u64::from(idx);
+            let w = if i < len { i } else { i % len };
+            let a = base + w * 4;
+            lines[n] = if line_mask != 0 {
+                a & line_mask
+            } else {
+                a - a % line_bytes
+            };
             n += 1;
         }
     }

@@ -481,6 +481,118 @@ pub struct StatsCollector {
     /// input, so a small direct-mapped cache with a full-key compare skips
     /// the transpose and every per-view count on a hit.
     warp_memo: WarpMemo,
+    /// Instruction-word memo: raw 64-bit words mapped to their per-view
+    /// encoded bit counts (the instruction stream is a tiny, endlessly
+    /// re-issued vocabulary).
+    instr_memo: InstrMemo,
+    /// Data-line content memo for [`StatsCollector::record_line_kinds`].
+    line_memo: LineMemo,
+    /// Instruction-line content memo for
+    /// [`StatsCollector::record_instruction_line`] (keyed on the words'
+    /// little-endian byte image).
+    instr_line_memo: LineMemo,
+    /// Reusable byte image of an instruction line for the memo key.
+    instr_line_key: Vec<u8>,
+}
+
+/// Direct-mapped instruction-word → per-view [`BitCounts`] cache for
+/// [`StatsCollector::record_instruction_units`]. Programs are tiny (tens
+/// of distinct 64-bit words) while every dynamic issue re-records its word
+/// at the IFB and the L1I, so after the first loop iteration virtually
+/// every lookup hits and the per-view ISA encode is skipped entirely.
+#[derive(Debug, Clone, PartialEq)]
+struct InstrMemo {
+    keys: Vec<Option<u64>>,
+    bits: Vec<BitCounts>,
+    n_views: usize,
+}
+
+const INSTR_MEMO_WAYS: usize = 128;
+
+impl InstrMemo {
+    fn new(n_views: usize) -> Self {
+        Self {
+            keys: vec![None; INSTR_MEMO_WAYS],
+            bits: vec![BitCounts::default(); INSTR_MEMO_WAYS * n_views],
+            n_views,
+        }
+    }
+
+    #[inline]
+    fn way(word: u64) -> usize {
+        (word.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % INSTR_MEMO_WAYS
+    }
+
+    #[inline]
+    fn get(&self, way: usize, word: u64) -> Option<&[BitCounts]> {
+        (self.keys[way] == Some(word))
+            .then(|| &self.bits[way * self.n_views..(way + 1) * self.n_views])
+    }
+
+    #[inline]
+    fn insert(&mut self, way: usize, word: u64, bits: &[BitCounts]) {
+        self.keys[way] = Some(word);
+        self.bits[way * self.n_views..(way + 1) * self.n_views].copy_from_slice(bits);
+    }
+}
+
+/// Direct-mapped content → per-view [`BitCounts`] cache for line-granular
+/// events ([`StatsCollector::record_line_kinds`] with byte lines,
+/// [`StatsCollector::record_instruction_line`] with word lines). Cache
+/// lines are re-recorded with unchanged content on every L1 hit and every
+/// L1I refill re-walk, so a full-content compare against a small
+/// direct-mapped table skips the per-view encode almost always.
+#[derive(Debug, Clone, PartialEq)]
+struct LineMemo {
+    keys: Vec<Option<Box<[u8]>>>,
+    bits: Vec<BitCounts>,
+    n_views: usize,
+}
+
+const LINE_MEMO_WAYS: usize = 512;
+
+impl LineMemo {
+    fn new(n_views: usize) -> Self {
+        Self {
+            keys: vec![None; LINE_MEMO_WAYS],
+            bits: vec![BitCounts::default(); LINE_MEMO_WAYS * n_views],
+            n_views,
+        }
+    }
+
+    #[inline]
+    fn way(content: &[u8]) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ content.len() as u64;
+        let mut chunks = content.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for &b in chunks.remainder() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h >> 32) as usize % LINE_MEMO_WAYS
+    }
+
+    #[inline]
+    fn get(&self, way: usize, content: &[u8]) -> Option<&[BitCounts]> {
+        match &self.keys[way] {
+            Some(k) if k.as_ref() == content => {
+                Some(&self.bits[way * self.n_views..(way + 1) * self.n_views])
+            }
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, way: usize, content: &[u8], bits: &[BitCounts]) {
+        match &mut self.keys[way] {
+            // Reuse the way's allocation when the length matches (it
+            // almost always does — one line size per launch).
+            Some(k) if k.len() == content.len() => k.copy_from_slice(content),
+            slot => *slot = Some(content.into()),
+        }
+        self.bits[way * self.n_views..(way + 1) * self.n_views].copy_from_slice(bits);
+    }
 }
 
 /// Direct-mapped `(lanes, active)` → per-view [`BitCounts`] cache for
@@ -494,7 +606,7 @@ struct WarpMemo {
     n_views: usize,
 }
 
-const WARP_MEMO_WAYS: usize = 64;
+const WARP_MEMO_WAYS: usize = 256;
 
 impl WarpMemo {
     fn new(n_views: usize) -> Self {
@@ -582,6 +694,10 @@ impl StatsCollector {
             bits_cache: vec![BitCounts::default(); n],
             scratch: Vec::new(),
             warp_memo: WarpMemo::new(n),
+            instr_memo: InstrMemo::new(n),
+            line_memo: LineMemo::new(n),
+            instr_line_memo: LineMemo::new(n),
+            instr_line_key: Vec::new(),
         }
     }
 
@@ -678,6 +794,15 @@ impl StatsCollector {
                 });
             }
         }
+        let way = LineMemo::way(line);
+        if let Some(bits) = self.line_memo.get(way, line) {
+            for (acc, &b) in self.unit_acc.iter_mut().zip(bits) {
+                for &kind in kinds {
+                    bump(&mut acc[unit as usize], kind, b, 1);
+                }
+            }
+            return;
+        }
         for i in 0..self.coders.len() {
             let rep = self.line_rep[i];
             let bits = if rep == i {
@@ -690,6 +815,7 @@ impl StatsCollector {
                 bump(&mut self.unit_acc[i][unit as usize], kind, bits, 1);
             }
         }
+        self.line_memo.insert(way, line, &self.bits_cache);
     }
 
     /// Record an instruction access (IFB, L1I, or the instruction-stream
@@ -713,6 +839,15 @@ impl StatsCollector {
                 });
             }
         }
+        let way = InstrMemo::way(instr);
+        if let Some(bits) = self.instr_memo.get(way, instr) {
+            for (acc, &b) in self.unit_acc.iter_mut().zip(bits) {
+                for &unit in units {
+                    bump(&mut acc[unit as usize], kind, b, 1);
+                }
+            }
+            return;
+        }
         for i in 0..self.coders.len() {
             let rep = self.instr_rep[i];
             let bits = if rep == i {
@@ -725,6 +860,7 @@ impl StatsCollector {
                 bump(&mut self.unit_acc[i][unit as usize], kind, bits, 1);
             }
         }
+        self.instr_memo.insert(way, instr, &self.bits_cache);
     }
 
     /// Record one line-granular access of instruction words (an L1I fill or
@@ -737,6 +873,19 @@ impl StatsCollector {
                 kind: kind.into(),
                 words: words.to_vec(),
             });
+        }
+        let mut key = std::mem::take(&mut self.instr_line_key);
+        key.clear();
+        for w in words {
+            key.extend_from_slice(&w.to_le_bytes());
+        }
+        let way = LineMemo::way(&key);
+        if let Some(bits) = self.instr_line_memo.get(way, &key) {
+            for (acc, &b) in self.unit_acc.iter_mut().zip(bits) {
+                bump(&mut acc[unit as usize], kind, b, 1);
+            }
+            self.instr_line_key = key;
+            return;
         }
         for i in 0..self.coders.len() {
             let rep = self.instr_rep[i];
@@ -752,6 +901,8 @@ impl StatsCollector {
             self.bits_cache[i] = bits;
             bump(&mut self.unit_acc[i][unit as usize], kind, bits, 1);
         }
+        self.instr_line_memo.insert(way, &key, &self.bits_cache);
+        self.instr_line_key = key;
     }
 
     /// Record a NoC packet: a raw header (addresses/ids) plus a data

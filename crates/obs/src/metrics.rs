@@ -399,11 +399,20 @@ impl Recorder {
     /// Close `span`, accumulating its elapsed time locally.
     #[inline]
     pub fn end(&mut self, span: Span) {
+        self.end_n(span, 1);
+    }
+
+    /// Close `span`, accumulating its elapsed time locally while counting
+    /// it as `n` events — for batched work where one span covers `n`
+    /// logical occurrences (e.g. a scheduler slot that issued a whole
+    /// straight-line instruction run).
+    #[inline]
+    pub fn end_n(&mut self, span: Span, n: u64) {
         if let Some(t0) = span.start {
             let ns = t0.elapsed().as_nanos() as u64;
             let base = span.timer.0 as usize;
             *self.slot(base) += ns;
-            *self.slot(base + 1) += 1;
+            *self.slot(base + 1) += n;
         }
     }
 

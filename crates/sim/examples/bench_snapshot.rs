@@ -9,6 +9,12 @@
 //! sharded wall-clock throughput below 90% of its
 //! `shard_instructions_per_second` (when the baseline carries that key).
 //!
+//! The gate is **two-sided**: throughput more than 25% *above* a baseline
+//! also fails. A genuine speedup must land together with a reviewed bump of
+//! `ci/bench_baseline.json` — otherwise the floor silently decays into a
+//! number the current code beats by multiples, and the next real regression
+//! sails under it.
+//!
 //! ```text
 //! cargo run --release -p bvf-sim --example bench_snapshot -- \
 //!     --baseline ci/bench_baseline.json
@@ -17,7 +23,8 @@
 //! The baseline is a deliberate floor, not a record of the fastest machine:
 //! CI hardware varies, so the committed value is chosen low enough that an
 //! ordinary runner passes comfortably while a hot-path regression back to
-//! pre-bit-sliced collector throughput still fails the gate.
+//! pre-scalarizer throughput still fails the gate — and the 125% ceiling is
+//! loose enough that runner-to-runner variance never trips it.
 
 use std::io::Write;
 
@@ -156,6 +163,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("PASS: {ips:.0} instr/s >= {floor:.0}");
+        let ceiling = baseline * 1.25;
+        if ips > ceiling {
+            eprintln!(
+                "FAIL: sequential throughput {ips:.0} instr/s exceeds the committed \
+                 baseline {baseline:.0} by more than 25% — a real speedup must raise \
+                 ci/bench_baseline.json in the same PR so the floor keeps tracking it"
+            );
+            std::process::exit(1);
+        }
+        println!("PASS: {ips:.0} instr/s <= {ceiling:.0} (125% ceiling)");
         // Gate the sharded path only when the baseline knows about it, so
         // an old baseline file does not fail a new binary.
         if let Some(shard_baseline) = json_number(&text, "shard_instructions_per_second") {
@@ -171,6 +188,17 @@ fn main() {
                 std::process::exit(1);
             }
             println!("PASS: {shard_ips:.0} instr/s >= {shard_floor:.0} sharded");
+            let shard_ceiling = shard_baseline * 1.25;
+            if shard_ips > shard_ceiling {
+                eprintln!(
+                    "FAIL: sharded throughput {shard_ips:.0} instr/s exceeds the \
+                     committed baseline {shard_baseline:.0} by more than 25% — raise \
+                     shard_instructions_per_second in ci/bench_baseline.json in the \
+                     same PR"
+                );
+                std::process::exit(1);
+            }
+            println!("PASS: {shard_ips:.0} instr/s <= {shard_ceiling:.0} sharded (125% ceiling)");
         }
     }
 }

@@ -343,6 +343,9 @@ fn main() {
         if let Some(t) = c.phase_table() {
             eprintln!("[{label}] {t}");
         }
+        if let Some(t) = c.uniform_share_table() {
+            eprintln!("[{label}] {t}");
+        }
         for f in &c.failures {
             failures
                 .borrow_mut()

@@ -1193,6 +1193,49 @@ impl Campaign {
         }
         Some(t)
     }
+
+    /// Per-app share of dynamic instructions that completed on the warp-
+    /// uniform ALU fast path (one lane computed, 32 splatted), plus a
+    /// campaign-total row — makes the scalarizer's hit rate observable
+    /// rather than assumed. `None` unless the campaign was profiled.
+    pub fn uniform_share_table(&self) -> Option<Table> {
+        if !self.merged_profile().is_enabled() {
+            return None;
+        }
+        let mut t = Table::new(
+            "uniform_share",
+            "Warp-uniform fast-path share of dynamic instructions",
+            vec![
+                "uniform_instr".to_string(),
+                "instructions".to_string(),
+                "share_pct".to_string(),
+            ],
+        );
+        let (mut total_uniform, mut total_instr) = (0u64, 0u64);
+        for r in &self.results {
+            let uniform = r.summary.profile.uniform_instructions;
+            let instr = r.summary.dynamic_instructions;
+            total_uniform += uniform;
+            total_instr += instr;
+            t.push(
+                r.app.code,
+                vec![
+                    uniform as f64,
+                    instr as f64,
+                    100.0 * uniform as f64 / instr.max(1) as f64,
+                ],
+            );
+        }
+        t.push(
+            "total",
+            vec![
+                total_uniform as f64,
+                total_instr as f64,
+                100.0 * total_uniform as f64 / total_instr.max(1) as f64,
+            ],
+        );
+        Some(t)
+    }
 }
 
 /// Wall-clock summary of one campaign run (see [`Campaign::run_report`]).
