@@ -89,6 +89,16 @@ impl Value {
     }
 }
 
+/// Maximum container nesting depth [`parse`] accepts.
+///
+/// The parser is recursive-descent, so input depth is call-stack depth: an
+/// untrusted body of a few thousand `[` bytes would otherwise overflow the
+/// stack of whatever thread parses it — fatal for a long-running server
+/// whose request path this parser sits on. 128 is far beyond any telemetry
+/// or request payload in this workspace, and 128 frames are trivially safe
+/// on the smallest thread stack Rust spawns.
+pub const MAX_DEPTH: usize = 128;
+
 /// Why parsing failed, and where.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -111,6 +121,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -124,6 +135,8 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, capped at [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -164,8 +177,8 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<Value, ParseError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Value::String(self.string()?)),
             Some(b't') => self.eat_literal("true", Value::Bool(true)),
             Some(b'f') => self.eat_literal("false", Value::Bool(false)),
@@ -173,6 +186,22 @@ impl Parser<'_> {
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Run one container parser one level deeper, rejecting input nested
+    /// past [`MAX_DEPTH`] *before* recursing — the depth cap must bound the
+    /// call stack, not merely the accepted values.
+    fn nested(
+        &mut self,
+        container: fn(&mut Self) -> Result<Value, ParseError>,
+    ) -> Result<Value, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let v = container(self);
+        self.depth -= 1;
+        v
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
@@ -405,6 +434,54 @@ mod tests {
         assert_eq!(v.without("timing").to_json_string(), r#"{"a":1,"b":2}"#);
         // Non-objects pass through.
         assert_eq!(Value::Null.without("x"), Value::Null);
+    }
+
+    #[test]
+    fn nesting_at_the_depth_limit_parses() {
+        // MAX_DEPTH nested arrays: the deepest `[` enters depth MAX_DEPTH.
+        let src = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        let mut v = parse(&src).expect("depth exactly at the limit is legal");
+        for _ in 0..MAX_DEPTH {
+            let Value::Array(mut items) = v else {
+                panic!("expected an array")
+            };
+            v = items.pop().expect("one element per level");
+        }
+        assert_eq!(v, Value::Number(1.0));
+        // Mixed object/array nesting counts the same way.
+        let src = format!(
+            "{}null{}",
+            r#"{"k":["#.repeat(MAX_DEPTH / 2),
+            "]}".repeat(MAX_DEPTH / 2)
+        );
+        assert!(parse(&src).is_ok());
+    }
+
+    #[test]
+    fn nesting_past_the_depth_limit_is_an_error_not_a_crash() {
+        // One level past the cap: a clean ParseError.
+        let src = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&src).expect_err("depth past the limit must fail");
+        assert_eq!(err.message, "nesting too deep");
+        assert_eq!(err.offset, MAX_DEPTH, "fails at the first illegal bracket");
+
+        // The attack shape: a request body that is nothing but open
+        // brackets. Before the cap this overflowed the parsing thread's
+        // stack; now it must return an error like any other bad input.
+        for bomb in [
+            "[".repeat(100_000),
+            "{\"a\":".repeat(100_000),
+            format!("{}{}", "[".repeat(50_000), "{\"x\":[".repeat(50_000)),
+        ] {
+            assert_eq!(
+                parse(&bomb).expect_err("bracket bomb").message,
+                "nesting too deep"
+            );
+        }
     }
 
     #[test]

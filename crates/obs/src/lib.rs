@@ -38,6 +38,7 @@ pub mod trace;
 
 pub use jsonl::Record;
 pub use metrics::{
-    CounterId, HistogramId, MetricSnapshot, MetricValue, MetricsSink, Recorder, Span, TimerId,
+    validate_exposition, CounterId, HistogramId, MetricSnapshot, MetricValue, MetricsSink,
+    Recorder, Span, TimerId,
 };
 pub use trace::{SpanGuard, TraceEvent, TraceRecorder, TraceSink};

@@ -60,6 +60,38 @@ fn bucket_of(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
 }
 
+/// The Prometheus-legal series name a metric is exposed under: `bvf_` plus
+/// the registered name with every non-alphanumeric character mapped to `_`.
+fn sanitized(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("bvf_");
+    out.extend(
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
+    );
+    out
+}
+
+/// Every series name one metric contributes to [`MetricsSink::expose_text`].
+/// Sanitization is lossy (`store.hits` and `store_hits` map to the same
+/// series), so registration checks these sets for disjointness — a
+/// collision would emit duplicate series with duplicate `# TYPE` lines, an
+/// exposition Prometheus rejects wholesale.
+fn exposed_names(name: &str, kind: Kind) -> Vec<String> {
+    let base = sanitized(name);
+    match kind {
+        Kind::Counter => vec![base],
+        Kind::Timer => vec![format!("{base}_nanos_total"), format!("{base}_count")],
+        Kind::Histogram => vec![
+            format!("{base}_bucket"),
+            format!("{base}_sum"),
+            format!("{base}_count"),
+            // The family name itself: it owns the `# TYPE` line.
+            base,
+        ],
+    }
+}
+
 #[derive(Debug)]
 struct MetricDef {
     name: &'static str,
@@ -81,6 +113,23 @@ impl Shared {
                 "metric {name:?} re-registered with a different kind"
             );
             return d.base;
+        }
+        // Reject registrations whose exposition names collide with an
+        // already-registered metric: sanitization is lossy, and duplicate
+        // series (with duplicate `# TYPE` lines) make `expose_text` an
+        // invalid exposition that a Prometheus scraper rejects wholesale.
+        let new_names = exposed_names(name, kind);
+        for d in defs.iter() {
+            if let Some(clash) = exposed_names(d.name, d.kind)
+                .iter()
+                .find(|n| new_names.contains(n))
+            {
+                panic!(
+                    "metric {name:?} collides with {:?} in the text exposition \
+                     (both expose the series {clash:?}); rename one of them",
+                    d.name
+                );
+            }
         }
         let base = defs
             .last()
@@ -219,19 +268,15 @@ impl MetricsSink {
     /// recorded here the inclusive upper bound of everything counted
     /// through bucket `b` is exactly `2^b - 1`) plus `_sum`/`_count`.
     /// Empty string for a disabled sink.
+    ///
+    /// Series names are guaranteed unique with exactly one `# TYPE` line
+    /// each, declared before its samples: registration rejects any metric
+    /// whose sanitized exposition names collide with an existing one (see
+    /// [`validate_exposition`], which checks exactly these invariants).
     pub fn expose_text(&self) -> String {
-        fn sanitize(name: &str) -> String {
-            let mut out = String::with_capacity(name.len() + 4);
-            out.push_str("bvf_");
-            out.extend(
-                name.chars()
-                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
-            );
-            out
-        }
         let mut out = String::new();
         for m in self.snapshot() {
-            let name = sanitize(m.name);
+            let name = sanitized(m.name);
             match &m.value {
                 MetricValue::Counter(v) => {
                     out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
@@ -346,6 +391,82 @@ impl MetricValue {
             }
         }
     }
+}
+
+/// Check that a Prometheus-style text exposition is well-formed enough for
+/// a scraper to accept it:
+///
+/// * every `# TYPE` line names a distinct family with a known kind,
+/// * every sample's family has a `# TYPE` line *above* it (histogram
+///   `_bucket`/`_sum`/`_count` samples resolve to their family name),
+/// * no two samples share a name + label set,
+/// * every sample line parses as `name[{labels}] value` with a finite
+///   numeric value (`+Inf` bucket bounds live in the label, which is not
+///   parsed as a number).
+///
+/// Used by the exposition tests here and by `bvf-serve`'s CI smoke job to
+/// validate a live `/metrics` scrape. Returns the first violation found.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::HashSet;
+    let mut families: HashSet<&str> = HashSet::new();
+    let mut seen_series: HashSet<&str> = HashSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {n}: malformed # TYPE line: {line:?}"));
+            };
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {n}: unknown metric kind {kind:?}"));
+            }
+            if !families.insert(name) {
+                return Err(format!("line {n}: duplicate # TYPE for {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments (e.g. # HELP) are legal anywhere
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {n}: sample without a value: {line:?}"));
+        };
+        match value.parse::<f64>() {
+            Ok(v) if v.is_finite() => {}
+            _ => return Err(format!("line {n}: non-numeric sample value {value:?}")),
+        }
+        let name = series.split('{').next().unwrap_or_default();
+        let legal_name = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c == '_' || c == ':' || c.is_ascii_alphanumeric());
+        if !legal_name {
+            return Err(format!("line {n}: illegal series name {name:?}"));
+        }
+        // Histogram samples belong to the family their suffix strips to —
+        // but only when that family is declared (a *counter* named `x_count`
+        // is its own family).
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| name.strip_suffix(suffix).filter(|b| families.contains(b)))
+            .unwrap_or(name);
+        if !families.contains(family) {
+            return Err(format!(
+                "line {n}: sample {name:?} has no preceding # TYPE line for {family:?}"
+            ));
+        }
+        if !seen_series.insert(series) {
+            return Err(format!("line {n}: duplicate series {series:?}"));
+        }
+    }
+    Ok(())
 }
 
 /// An open span handle: holds the start instant (or nothing, when the sink
@@ -702,6 +823,76 @@ mod tests {
         // Timer nanos vary per run but not between two snapshots of the
         // same aggregate.
         assert_eq!(text, text2);
+        // And the whole payload is a valid exposition: unique names, one
+        // `# TYPE` per family, declared before its samples.
+        validate_exposition(&text).expect("exposition must validate");
+    }
+
+    #[test]
+    fn colliding_sanitized_names_are_rejected_at_registration() {
+        // `store.hits` and `store_hits` are distinct registered names but
+        // sanitize to the same exposed series — accepting both would emit
+        // duplicate `# TYPE` lines, an exposition Prometheus rejects.
+        let sink = MetricsSink::enabled();
+        let _ = sink.counter("store.hits");
+        let clash =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sink.counter("store_hits")));
+        assert!(
+            clash.is_err(),
+            "sanitize-colliding counter must be rejected"
+        );
+
+        // Cross-kind collisions through derived series names too: a timer
+        // `x` exposes `x_count`, which a counter named `x.count` would
+        // duplicate.
+        let sink = MetricsSink::enabled();
+        let _ = sink.timer("x");
+        let clash =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sink.counter("x.count")));
+        assert!(clash.is_err(), "derived-series collision must be rejected");
+
+        // A histogram owns its family name: a counter equal to it collides.
+        let sink = MetricsSink::enabled();
+        let _ = sink.histogram("bytes.in");
+        let clash =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sink.counter("bytes_in")));
+        assert!(
+            clash.is_err(),
+            "histogram family collision must be rejected"
+        );
+
+        // Distinct names that sanitize apart still register fine, and
+        // re-registering the same name stays idempotent.
+        let sink = MetricsSink::enabled();
+        let a = sink.counter("store.hits");
+        let _ = sink.counter("store.misses");
+        assert_eq!(sink.counter("store.hits"), a);
+        validate_exposition(&sink.expose_text()).expect("clean registry validates");
+    }
+
+    #[test]
+    fn validate_exposition_catches_each_violation() {
+        validate_exposition("").expect("empty exposition is valid");
+        let ok = "# TYPE a counter\na 1\n# TYPE b histogram\nb_bucket{le=\"1\"} 1\n\
+                  b_bucket{le=\"+Inf\"} 1\nb_sum 1\nb_count 1\n";
+        validate_exposition(ok).expect("well-formed exposition");
+        for (bad, why) in [
+            (
+                "# TYPE a counter\n# TYPE a counter\na 1\n",
+                "duplicate # TYPE",
+            ),
+            ("a 1\n", "no preceding # TYPE"),
+            ("# TYPE a counter\na 1\na 1\n", "duplicate series"),
+            ("# TYPE a counter\na one\n", "non-numeric sample"),
+            ("# TYPE a widget\na 1\n", "unknown metric kind"),
+            ("# TYPE a counter\n9a 1\n", "illegal series name"),
+        ] {
+            let err = validate_exposition(bad).expect_err(why);
+            assert!(
+                err.contains(why),
+                "expected {why:?} in the error, got {err:?}"
+            );
+        }
     }
 
     #[test]

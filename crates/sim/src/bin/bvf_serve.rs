@@ -1,0 +1,413 @@
+//! `bvf-serve`: campaign-as-a-service over HTTP/1.1.
+//!
+//! ```text
+//! cargo run --release -p bvf-sim --bin bvf_serve -- serve --addr 127.0.0.1:8479 \
+//!     --workers 4 --queue 64 --cache /tmp/bvf-cache          # run the server
+//! cargo run --release -p bvf-sim --bin bvf_serve -- request --addr 127.0.0.1:8479 \
+//!     --apps VAD,SGE --sms 2                                 # one request, body on stdout
+//! cargo run --release -p bvf-sim --bin bvf_serve -- direct --apps VAD,SGE --sms 2
+//!                                  # the same body computed locally (byte-diff oracle)
+//! cargo run --release -p bvf-sim --bin bvf_serve -- bench --addr 127.0.0.1:8479 \
+//!     --apps VAD --sms 1 --clients 8 --requests 5            # load generator
+//! cargo run --release -p bvf-sim --bin bvf_serve -- scrape --addr 127.0.0.1:8479
+//!                                  # GET /metrics, validate the exposition, print it
+//! ```
+//!
+//! `serve` runs until SIGTERM or SIGINT, then drains gracefully: the
+//! listener closes, in-flight requests finish, queued jobs complete, and
+//! the process exits 0 after printing a final counter summary to stderr.
+//!
+//! `request` and `direct` print the same deterministic JSONL body for the
+//! same request — `diff <(bvf_serve request ...) <(bvf_serve direct ...)`
+//! is the end-to-end exactness check CI runs.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bvf_obs::jsonl::escape;
+use bvf_obs::validate_exposition;
+use bvf_sim::serve::{client, protocol};
+use bvf_sim::{Campaign, CampaignOptions, Parallelism, ResultStore, ServeOptions, Server};
+
+const USAGE: &str = "usage: bvf_serve <serve|request|direct|bench|scrape> [flags]
+
+  serve   --addr HOST:PORT [--workers N] [--queue N] [--cache DIR]
+          run the server until SIGTERM/SIGINT, then drain and exit 0
+  request --addr HOST:PORT --apps A,B,... [--config NAME] [--sms N]
+          [--scheduler NAME] [--arch NAME] [--priority N] [--inject-panic APP]
+          POST one campaign request; response body on stdout (exit 1 on non-200)
+  direct  --apps A,B,... [--config NAME] [--sms N] [--scheduler NAME]
+          [--arch NAME] [--inject-panic APP]
+          compute the identical body locally, without a server (byte-diff oracle)
+  bench   --addr HOST:PORT --apps A,B,... [--clients N] [--requests N]
+          [--config NAME] [--sms N] [--priority N] [--distinct]
+          load generator: N clients x N requests each; summary on stderr.
+          --distinct gives each client its own app from the list instead of
+          identical requests (identical requests exercise single-flight)
+  scrape  --addr HOST:PORT
+          GET /metrics, validate the Prometheus exposition, print it";
+
+/// Request timeout for every client-side subcommand.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(600);
+
+fn bail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// SIGTERM/SIGINT latch. The workspace libraries forbid `unsafe`, but a
+/// binary that promises clean shutdown on SIGTERM has to talk to the OS;
+/// with no libc crate available this is a direct `signal(2)` FFI call,
+/// confined to this module. The handler only stores a relaxed atomic —
+/// the one thing that is unconditionally async-signal-safe.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    pub fn install() {}
+}
+
+/// Flags shared by every subcommand, parsed strictly: unknown flags and
+/// missing values are usage errors, like `reproduce`.
+#[derive(Default)]
+struct Flags {
+    addr: Option<String>,
+    apps: Option<String>,
+    config: Option<String>,
+    sms: Option<u32>,
+    scheduler: Option<String>,
+    arch: Option<String>,
+    priority: Option<u64>,
+    inject_panic: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache: Option<String>,
+    clients: Option<usize>,
+    requests: Option<usize>,
+    distinct: bool,
+}
+
+fn parse_flags(argv: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let value_of = |i: usize, flag: &str| -> Result<String, String> {
+        match argv.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("{flag} needs a value")),
+        }
+    };
+    let uint = |v: String, flag: &str| -> Result<u64, String> {
+        v.parse()
+            .map_err(|_| format!("{flag} needs a non-negative integer, got {v:?}"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => f.addr = Some(value_of(i, "--addr")?),
+            "--apps" => f.apps = Some(value_of(i, "--apps")?),
+            "--config" => f.config = Some(value_of(i, "--config")?),
+            "--sms" => f.sms = Some(uint(value_of(i, "--sms")?, "--sms")? as u32),
+            "--scheduler" => f.scheduler = Some(value_of(i, "--scheduler")?),
+            "--arch" => f.arch = Some(value_of(i, "--arch")?),
+            "--priority" => f.priority = Some(uint(value_of(i, "--priority")?, "--priority")?),
+            "--inject-panic" => f.inject_panic = Some(value_of(i, "--inject-panic")?),
+            "--workers" => f.workers = Some(uint(value_of(i, "--workers")?, "--workers")? as usize),
+            "--queue" => f.queue = Some(uint(value_of(i, "--queue")?, "--queue")? as usize),
+            "--cache" => f.cache = Some(value_of(i, "--cache")?),
+            "--clients" => f.clients = Some(uint(value_of(i, "--clients")?, "--clients")? as usize),
+            "--requests" => {
+                f.requests = Some(uint(value_of(i, "--requests")?, "--requests")? as usize)
+            }
+            "--distinct" => {
+                f.distinct = true;
+                i += 1;
+                continue;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        // Flags above all consumed a value; `--distinct`/`--help` continue
+        // or exit before reaching here.
+        i += 2;
+    }
+    Ok(f)
+}
+
+impl Flags {
+    fn addr(&self) -> &str {
+        match &self.addr {
+            Some(a) => a,
+            None => bail("--addr is required"),
+        }
+    }
+
+    fn app_list(&self) -> Vec<String> {
+        let Some(apps) = &self.apps else {
+            bail("--apps is required");
+        };
+        let list: Vec<String> = apps
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if list.is_empty() {
+            bail("--apps needs at least one application code");
+        }
+        list
+    }
+
+    /// The JSON request body these flags describe (for one explicit app
+    /// list — bench varies the list per client).
+    fn request_body(&self, apps: &[String]) -> String {
+        let quoted: Vec<String> = apps.iter().map(|a| format!("\"{}\"", escape(a))).collect();
+        let mut body = format!("{{\"apps\":[{}]", quoted.join(","));
+        if let Some(config) = &self.config {
+            body.push_str(&format!(",\"config\":\"{}\"", escape(config)));
+        }
+        if let Some(sms) = self.sms {
+            body.push_str(&format!(",\"sms\":{sms}"));
+        }
+        if let Some(scheduler) = &self.scheduler {
+            body.push_str(&format!(",\"scheduler\":\"{}\"", escape(scheduler)));
+        }
+        if let Some(arch) = &self.arch {
+            body.push_str(&format!(",\"arch\":\"{}\"", escape(arch)));
+        }
+        if let Some(priority) = self.priority {
+            body.push_str(&format!(",\"priority\":{priority}"));
+        }
+        if let Some(app) = &self.inject_panic {
+            body.push_str(&format!(",\"inject_panic\":\"{}\"", escape(app)));
+        }
+        body.push('}');
+        body
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let Some(command) = argv.get(1) else {
+        bail("a subcommand is required");
+    };
+    let flags = match parse_flags(&argv[2..]) {
+        Ok(f) => f,
+        Err(e) => bail(&e),
+    };
+    match command.as_str() {
+        "serve" => cmd_serve(&flags),
+        "request" => cmd_request(&flags),
+        "direct" => cmd_direct(&flags),
+        "bench" => cmd_bench(&flags),
+        "scrape" => cmd_scrape(&flags),
+        "--help" | "-h" => println!("{USAGE}"),
+        other => bail(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_serve(flags: &Flags) {
+    sig::install();
+    let store = flags.cache.as_deref().map(|dir| {
+        Arc::new(ResultStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot open cache directory {dir:?}: {e}");
+            std::process::exit(1);
+        }))
+    });
+    let opts = ServeOptions {
+        addr: flags
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:8479".to_string()),
+        workers: flags.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+        }),
+        queue_capacity: flags.queue.unwrap_or(64),
+        store,
+    };
+    let workers = opts.workers;
+    let queue = opts.queue_capacity;
+    let cache = flags.cache.clone();
+    let server = Server::start(opts).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "bvf-serve listening on {} (workers={workers}, queue={queue}, cache={})",
+        server.addr(),
+        cache.as_deref().unwrap_or("none"),
+    );
+    while !sig::SHUTDOWN.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("bvf-serve: signal received, draining");
+    let sink = server.sink().clone();
+    server.shutdown();
+    // Final counter summary: one exposition dump, the same bytes /metrics
+    // would have served.
+    eprint!("{}", sink.expose_text());
+    eprintln!("bvf-serve: clean shutdown");
+}
+
+fn cmd_request(flags: &Flags) {
+    let body = flags.request_body(&flags.app_list());
+    match client::post_run(flags.addr(), &body, CLIENT_TIMEOUT) {
+        Ok(resp) if resp.status == 200 => print!("{}", resp.body),
+        Ok(resp) => {
+            eprintln!(
+                "error: server answered {}: {}",
+                resp.status,
+                resp.body.trim()
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_direct(flags: &Flags) {
+    // Route the flags through the same parser the server uses, so `direct`
+    // and `request` resolve configs and defaults identically.
+    let body = flags.request_body(&flags.app_list());
+    let req = match protocol::parse_request(&body) {
+        Ok(r) => r,
+        Err(e) => bail(&e),
+    };
+    let campaign = Campaign::run_with_options(
+        req.config.clone(),
+        &req.apps,
+        &CampaignOptions {
+            par: Parallelism::Auto,
+            arch: req.arch,
+            fault: req.fault.clone(),
+            ..CampaignOptions::default()
+        },
+    );
+    print!("{}", protocol::body_from_campaign(&req, &campaign));
+}
+
+fn cmd_bench(flags: &Flags) {
+    let addr = flags.addr().to_string();
+    let apps = flags.app_list();
+    let clients = flags.clients.unwrap_or(4).max(1);
+    let requests = flags.requests.unwrap_or(4).max(1);
+    let t0 = Instant::now();
+    let outcomes: Vec<(usize, usize, usize, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = &addr;
+                let body = if flags.distinct {
+                    // One app per client, round-robin over the list: every
+                    // client's key set is distinct from its neighbours'.
+                    flags.request_body(std::slice::from_ref(&apps[c % apps.len()]))
+                } else {
+                    flags.request_body(&apps)
+                };
+                scope.spawn(move || {
+                    let (mut ok, mut rejected, mut failed) = (0, 0, 0);
+                    let mut busy = Duration::ZERO;
+                    for _ in 0..requests {
+                        let t = Instant::now();
+                        match client::post_run(addr, &body, CLIENT_TIMEOUT) {
+                            Ok(resp) if resp.status == 200 => ok += 1,
+                            Ok(resp) if resp.status == 429 => rejected += 1,
+                            _ => failed += 1,
+                        }
+                        busy += t.elapsed();
+                    }
+                    (ok, rejected, failed, busy)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench client panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    let (mut ok, mut rejected, mut failed) = (0usize, 0usize, 0usize);
+    let mut busy = Duration::ZERO;
+    for (o, r, f, b) in outcomes {
+        ok += o;
+        rejected += r;
+        failed += f;
+        busy += b;
+    }
+    let total = clients * requests;
+    eprintln!(
+        "bench: {total} requests from {clients} clients in {:.2}s — \
+         {ok} ok, {rejected} rejected (429), {failed} failed; \
+         {:.1} req/s, mean latency {:.1} ms",
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64().max(1e-9),
+        busy.as_secs_f64() * 1e3 / total as f64,
+    );
+    // The server-side story: scrape /metrics and surface the serve_*
+    // counters (attach rate is the single-flight win).
+    match client::scrape_metrics(&addr, CLIENT_TIMEOUT) {
+        Ok(resp) if resp.status == 200 => {
+            for line in resp.body.lines() {
+                if line.starts_with("bvf_serve_") && !line.contains("_bucket") {
+                    eprintln!("bench: {line}");
+                }
+            }
+        }
+        _ => eprintln!("bench: /metrics scrape failed"),
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_scrape(flags: &Flags) {
+    match client::scrape_metrics(flags.addr(), CLIENT_TIMEOUT) {
+        Ok(resp) if resp.status == 200 => {
+            if let Err(e) = validate_exposition(&resp.body) {
+                eprintln!("error: invalid exposition: {e}");
+                std::process::exit(1);
+            }
+            print!("{}", resp.body);
+        }
+        Ok(resp) => {
+            eprintln!("error: server answered {}", resp.status);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: scrape failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -253,8 +253,9 @@ impl Progress {
 }
 
 /// Stringify a panic payload: `panic!("...")` carries a `String` or a
-/// `&'static str`; anything else gets a placeholder.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// `&'static str`; anything else gets a placeholder. `pub(crate)` because
+/// the serve worker pool (`crate::serve`) isolates faults the same way.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,
         Err(payload) => match payload.downcast::<&'static str>() {
@@ -929,8 +930,10 @@ impl Campaign {
         (shard, t0.elapsed())
     }
 
-    /// Simulate one application on a fresh GPU, timing it.
-    fn simulate_one(
+    /// Simulate one application on a fresh GPU, timing it. `pub(crate)` so
+    /// the serve worker pool (`crate::serve`) can run exactly the
+    /// simulation a campaign would, without the campaign fan-out around it.
+    pub(crate) fn simulate_one(
         config: &GpuConfig,
         views: &[CodingView],
         arch: Architecture,

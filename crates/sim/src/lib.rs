@@ -31,6 +31,7 @@
 pub mod campaign;
 pub mod figures;
 pub mod metrics;
+pub mod serve;
 pub mod store;
 pub mod table;
 pub mod trace_report;
@@ -39,6 +40,7 @@ pub use campaign::{
     parallel_map, AppFailure, AppResult, Campaign, CampaignOptions, Parallelism, RunReport,
     ShardMode,
 };
+pub use serve::{ServeOptions, Server};
 pub use store::{ResultStore, STORE_FORMAT_VERSION};
 pub use table::Table;
 pub use trace_report::{TraceReport, TraceRow};

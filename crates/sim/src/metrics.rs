@@ -16,10 +16,27 @@
 //! `--jobs` or `--shards` was — the determinism test in `reproduce.rs`
 //! holds the simulator to exactly that.
 
+use bvf_gpu::TraceSummary;
 use bvf_obs::jsonl::Record;
+use bvf_workloads::Application;
 
 use crate::campaign::{AppResult, Campaign};
 use crate::table::Table;
+
+/// The run-independent fields of an app record: everything that is a pure
+/// function of the simulated workload, in the field order both
+/// [`app_record`] and [`app_record_scrubbed`] emit.
+fn app_record_base(campaign: &str, app: &Application, summary: &TraceSummary) -> Record {
+    Record::new("app")
+        .str("campaign", campaign)
+        .str("app", app.code)
+        .str("name", app.name)
+        .u64("cycles", summary.cycles)
+        .u64("instructions", summary.dynamic_instructions)
+        .f64("l1d_hit_rate", summary.l1d_hit_rate)
+        .f64("l2_hit_rate", summary.l2_hit_rate)
+        .u64("dram_requests", summary.dram.requests)
+}
 
 /// Telemetry for one application result within a labelled campaign.
 ///
@@ -41,17 +58,20 @@ pub fn app_record(campaign: &str, r: &AppResult) -> String {
             r.summary.profile.uniform_instructions,
         )
         .finish();
-    Record::new("app")
-        .str("campaign", campaign)
-        .str("app", r.app.code)
-        .str("name", r.app.name)
-        .u64("cycles", r.summary.cycles)
-        .u64("instructions", r.summary.dynamic_instructions)
-        .f64("l1d_hit_rate", r.summary.l1d_hit_rate)
-        .f64("l2_hit_rate", r.summary.l2_hit_rate)
-        .u64("dram_requests", r.summary.dram.requests)
+    app_record_base(campaign, &r.app, &r.summary)
         .raw("timing", &timing)
         .finish()
+}
+
+/// An [`app_record`] with the `"timing"` object never emitted: byte-for-byte
+/// what scrubbing `"timing"` from an app record leaves. This is the line
+/// `bvf-serve` streams per application — response bodies must be a pure
+/// function of the request (N clients attached to one single-flight
+/// simulation each get the same bytes, equal to a direct campaign's
+/// scrubbed telemetry), so the run-dependent story is omitted at the
+/// source instead of scrubbed after the fact.
+pub fn app_record_scrubbed(campaign: &str, app: &Application, summary: &TraceSummary) -> String {
+    app_record_base(campaign, app, summary).finish()
 }
 
 /// Telemetry for one campaign: workload identity and totals, with the
@@ -136,7 +156,6 @@ mod tests {
     use bvf_gpu::GpuConfig;
     use bvf_obs::json;
     use bvf_obs::MetricsSink;
-    use bvf_workloads::Application;
 
     fn tiny_campaign(sink: MetricsSink) -> Campaign {
         let mut config = GpuConfig::baseline();
@@ -178,6 +197,22 @@ mod tests {
                     "run-dependent field {needle} escaped timing: {scrubbed}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn scrubbed_app_record_equals_scrubbing_the_full_record() {
+        // bvf-serve streams `app_record_scrubbed` lines and promises they
+        // are byte-identical to a direct campaign's telemetry with
+        // "timing" scrubbed — pin the two construction paths together.
+        let c = tiny_campaign(MetricsSink::enabled());
+        for r in &c.results {
+            let scrubbed = app_record_scrubbed("serve", &r.app, &r.summary);
+            let full = json::parse(&app_record("serve", r))
+                .expect("valid JSON")
+                .without("timing")
+                .to_json_string();
+            assert_eq!(scrubbed, full);
         }
     }
 

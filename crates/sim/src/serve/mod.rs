@@ -1,0 +1,690 @@
+//! `bvf-serve`: the campaign-as-a-service frontend.
+//!
+//! A [`Server`] owns a `TcpListener` accept loop, a pool of simulation
+//! workers draining a bounded priority queue, and a live [`MetricsSink`].
+//! One connection-handler thread per connection parses a JSON campaign
+//! request (`POST /run`), registers each application's work with the
+//! scheduler, and streams results back as chunked JSONL the moment each
+//! application completes — in request order, so the body is a
+//! deterministic function of the request.
+//!
+//! **Single-flight.** Each application's work is keyed by its
+//! [`ResultStore`] content address — [`ResultStore::key`] over the
+//! resolved config, ISA generation, derived ISA mask, and app code, i.e.
+//! exactly the identity the disk cache uses. If a request names work whose
+//! key is already in flight, the handler *attaches* to the existing
+//! flight instead of enqueuing a duplicate job: N concurrent identical
+//! requests cost one simulation, and all N response bodies are
+//! byte-identical. Fault-drill jobs (`inject_panic`) bypass both the
+//! single-flight map and the store, so a drill can never poison a clean
+//! request's flight or leave a poisoned cache entry.
+//!
+//! **Backpressure.** The queue is bounded ([`ServeOptions::queue_capacity`]).
+//! Admission is per request and atomic: either every job the request needs
+//! fits, or nothing is enqueued and the client gets `429 Too Many
+//! Requests` with a `Retry-After` hint. Attaching to an existing flight
+//! consumes no queue slot.
+//!
+//! **Priorities.** Jobs carry the request's `priority` (higher first);
+//! ties break FIFO by submission sequence, so equal-priority work is
+//! served in arrival order and nothing starves behind later peers.
+
+pub mod client;
+pub mod http;
+pub mod protocol;
+
+use std::collections::{BinaryHeap, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bvf_gpu::{CodingView, GpuConfig, TraceSummary};
+use bvf_isa::Architecture;
+use bvf_obs::{CounterId, HistogramId, MetricsSink, TimerId};
+use bvf_workloads::Application;
+
+use crate::campaign::{panic_message, Campaign};
+use crate::store::ResultStore;
+
+use self::http::{ChunkedWriter, Request, RequestError};
+use self::protocol::SimRequest;
+
+/// How long a connection handler waits for one application's flight
+/// before reporting a timeout failure. Generous: a full-size app on a
+/// loaded box is minutes, and a lost worker should fail the request
+/// rather than hang the client forever.
+const FLIGHT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Simulation worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs across all requests.
+    pub queue_capacity: usize,
+    /// Shared persistent result store consulted before simulating and
+    /// written back after a miss. `None` simulates everything.
+    pub store: Option<Arc<ResultStore>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            store: None,
+        }
+    }
+}
+
+/// Metric handles registered once at startup, so `/metrics` lists every
+/// series from the first scrape.
+#[derive(Clone, Copy)]
+struct Ids {
+    /// Accepted `/run` requests (a 200 stream was started).
+    requests: CounterId,
+    /// Requests rejected with 429 (queue full).
+    rejected: CounterId,
+    /// Malformed or oversized requests answered 4xx.
+    bad_requests: CounterId,
+    /// App jobs that attached to an in-flight identical job.
+    attached: CounterId,
+    /// Fresh simulations executed by workers.
+    simulations: CounterId,
+    /// Jobs that ended in a (caught) panic.
+    failures: CounterId,
+    /// Store consultations that returned a usable entry.
+    store_hits: CounterId,
+    /// Store consultations that missed.
+    store_misses: CounterId,
+    /// `/metrics` scrapes served.
+    scrapes: CounterId,
+    /// Wall time inside `simulate_one`.
+    simulate: TimerId,
+    /// Nanoseconds a job sat queued before a worker picked it up.
+    queue_wait: HistogramId,
+}
+
+impl Ids {
+    fn register(sink: &MetricsSink) -> Self {
+        Self {
+            requests: sink.counter("serve.requests"),
+            rejected: sink.counter("serve.rejected"),
+            bad_requests: sink.counter("serve.bad_requests"),
+            attached: sink.counter("serve.attached"),
+            simulations: sink.counter("serve.simulations"),
+            failures: sink.counter("serve.job_failures"),
+            store_hits: sink.counter("serve.store_hits"),
+            store_misses: sink.counter("serve.store_misses"),
+            scrapes: sink.counter("serve.scrapes"),
+            simulate: sink.timer("serve.simulate"),
+            queue_wait: sink.histogram("serve.queue_wait_ns"),
+        }
+    }
+}
+
+/// The outcome one flight publishes to every handler waiting on it.
+type Outcome = Result<Arc<TraceSummary>, String>;
+
+/// One in-flight unit of work: the rendezvous between the worker that
+/// runs it and every connection handler waiting for it.
+struct FlightSlot {
+    outcome: Mutex<Option<Outcome>>,
+    ready: Condvar,
+}
+
+impl FlightSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn publish(&self, outcome: Outcome) {
+        let mut slot = self.outcome.lock().expect("flight lock");
+        *slot = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    /// Wait until the outcome is published, or `timeout` elapses.
+    fn wait(&self, timeout: Duration) -> Option<Outcome> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.outcome.lock().expect("flight lock");
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (guard, _) = self.ready.wait_timeout(slot, left).expect("flight lock");
+            slot = guard;
+        }
+    }
+}
+
+/// One queued unit of work. Ordering: higher `priority` first, then FIFO
+/// by submission sequence.
+struct Job {
+    priority: u32,
+    seq: u64,
+    app: Application,
+    key: u64,
+    /// Whether `key` is registered in the single-flight map (fault-drill
+    /// jobs are not — they must not be attachable).
+    registered: bool,
+    config: Arc<GpuConfig>,
+    views: Arc<Vec<CodingView>>,
+    arch: Architecture,
+    fault: bool,
+    hold: Duration,
+    slot: Arc<FlightSlot>,
+    enqueued: Instant,
+}
+
+impl PartialEq for Job {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Job {}
+impl PartialOrd for Job {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Job {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, std::cmp::Reverse(self.seq))
+            .cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+    }
+}
+
+/// Scheduler state behind one mutex: the priority queue and the
+/// single-flight map change together (admission registers flights and
+/// enqueues jobs atomically), so one lock keeps them consistent.
+struct SchedState {
+    queue: BinaryHeap<Job>,
+    inflight: HashMap<u64, Arc<FlightSlot>>,
+    shutdown: bool,
+}
+
+/// Everything the accept loop, handlers, and workers share.
+struct Shared {
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    capacity: usize,
+    seq: AtomicU64,
+    sink: MetricsSink,
+    ids: Ids,
+    store: Option<Arc<ResultStore>>,
+    active_connections: AtomicUsize,
+}
+
+/// Why a request could not be admitted.
+enum SubmitError {
+    /// The queue cannot hold the request's jobs → 429.
+    Full,
+    /// The server is draining → 503.
+    ShuttingDown,
+}
+
+/// What the handler waits on per application, in request order.
+enum Waiter {
+    /// This request enqueued (or attached to) a flight.
+    Flight(Arc<FlightSlot>),
+}
+
+impl Shared {
+    /// Atomically admit one request: attach each app to an identical
+    /// in-flight job where one exists, enqueue the rest — all or nothing
+    /// against the queue capacity.
+    fn submit(&self, req: &SimRequest) -> Result<Vec<(Application, Waiter)>, SubmitError> {
+        let isa_mask = req.isa_mask();
+        let config = Arc::new(req.config.clone());
+        let views = Arc::new(CodingView::standard_set(isa_mask));
+        let mut state = self.state.lock().expect("scheduler lock");
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        // Plan first, commit after the capacity check: `staged_map` lets a
+        // request that names the same app twice attach to its own first
+        // instance, without touching the shared map until admission.
+        let mut staged: Vec<Job> = Vec::new();
+        let mut staged_map: HashMap<u64, Arc<FlightSlot>> = HashMap::new();
+        let mut waiters = Vec::with_capacity(req.apps.len());
+        let mut attached = 0u64;
+        for app in &req.apps {
+            let key = ResultStore::key(&config, req.arch, isa_mask, app.code);
+            let fault = req.fault.as_deref() == Some(app.code);
+            if !fault {
+                if let Some(slot) = state.inflight.get(&key).or_else(|| staged_map.get(&key)) {
+                    attached += 1;
+                    waiters.push((app.clone(), Waiter::Flight(slot.clone())));
+                    continue;
+                }
+            }
+            let slot = FlightSlot::new();
+            if !fault {
+                staged_map.insert(key, slot.clone());
+            }
+            staged.push(Job {
+                priority: req.priority,
+                seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                app: app.clone(),
+                key,
+                registered: !fault,
+                config: config.clone(),
+                views: views.clone(),
+                arch: req.arch,
+                fault,
+                hold: Duration::from_millis(req.hold_ms),
+                slot: slot.clone(),
+                enqueued: Instant::now(),
+            });
+            waiters.push((app.clone(), Waiter::Flight(slot)));
+        }
+        if state.queue.len() + staged.len() > self.capacity {
+            return Err(SubmitError::Full);
+        }
+        state.inflight.extend(staged_map);
+        for job in staged {
+            state.queue.push(job);
+        }
+        drop(state);
+        self.work_ready.notify_all();
+        self.sink.add(self.ids.attached, attached);
+        Ok(waiters)
+    }
+
+    /// Worker body: drain the queue (highest priority first) until
+    /// shutdown, publishing each job's outcome to its flight.
+    fn worker_loop(self: &Arc<Self>) {
+        let mut rec = self.sink.recorder();
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("scheduler lock");
+                loop {
+                    if let Some(job) = state.queue.pop() {
+                        break job;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = self.work_ready.wait(state).expect("scheduler lock");
+                }
+            };
+            rec.observe(
+                self.ids.queue_wait,
+                job.enqueued.elapsed().as_nanos() as u64,
+            );
+            self.run_job(&mut rec, job);
+            // Flush after every job so `/metrics` is live, not
+            // end-of-worker-lifetime.
+            rec.flush();
+        }
+    }
+
+    fn run_job(self: &Arc<Self>, rec: &mut bvf_obs::Recorder, job: Job) {
+        if !job.hold.is_zero() {
+            std::thread::sleep(job.hold);
+        }
+        // Store consult (fault drills bypass: a drill must exercise the
+        // panic path, not be satisfied by a cache hit).
+        if !job.fault {
+            if let Some(store) = self.store.as_deref() {
+                if let Some(summary) = store.load(job.key, job.app.code) {
+                    rec.add(self.ids.store_hits, 1);
+                    self.finish_job(&job, Ok(Arc::new(summary)));
+                    return;
+                }
+                rec.add(self.ids.store_misses, 1);
+            }
+        }
+        let span = rec.begin(self.ids.simulate);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if job.fault {
+                panic!("injected fault: worker asked to fail on {}", job.app.code);
+            }
+            Campaign::simulate_one(
+                &job.config,
+                &job.views,
+                job.arch,
+                &self.sink,
+                &job.app,
+                None,
+            )
+        }));
+        rec.end(span);
+        let outcome = match outcome {
+            Ok(result) => {
+                rec.add(self.ids.simulations, 1);
+                if !job.fault {
+                    if let Some(store) = self.store.as_deref() {
+                        store.save(job.key, job.app.code, &result.summary);
+                    }
+                }
+                Ok(Arc::new(result.summary))
+            }
+            Err(payload) => {
+                rec.add(self.ids.failures, 1);
+                Err(panic_message(payload))
+            }
+        };
+        self.finish_job(&job, outcome);
+    }
+
+    /// Publish the outcome, then retire the flight. Publishing first means
+    /// a handler that attaches between the two steps gets its result
+    /// immediately; one that looks up after removal starts a fresh flight
+    /// — never a deadlock, at worst a duplicate simulation.
+    fn finish_job(&self, job: &Job, outcome: Outcome) {
+        job.slot.publish(outcome);
+        if job.registered {
+            let mut state = self.state.lock().expect("scheduler lock");
+            state.inflight.remove(&job.key);
+        }
+    }
+}
+
+/// Decrement-on-drop guard for the live-connection count, so a panicking
+/// handler cannot wedge graceful shutdown.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running `bvf-serve` instance: accept loop, worker pool, metrics.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop_accept: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and accept loop, and return. The server
+    /// runs until [`Server::shutdown`].
+    pub fn start(opts: ServeOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let sink = MetricsSink::enabled();
+        let ids = Ids::register(&sink);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                queue: BinaryHeap::new(),
+                inflight: HashMap::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            capacity: opts.queue_capacity.max(1),
+            seq: AtomicU64::new(0),
+            sink,
+            ids,
+            store: opts.store,
+            active_connections: AtomicUsize::new(0),
+        });
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("bvf-serve-worker-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let shared = shared.clone();
+            let stop = stop_accept.clone();
+            std::thread::Builder::new()
+                .name("bvf-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &stop))
+                .expect("spawn accept loop")
+        };
+        Ok(Self {
+            addr,
+            shared,
+            stop_accept,
+            accept_thread,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics sink `/metrics` exposes.
+    pub fn sink(&self) -> &MetricsSink {
+        &self.shared.sink
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight connections and
+    /// queued jobs drain, then join the workers. Returns when everything
+    /// has stopped (drain waits are bounded, not infinite).
+    pub fn shutdown(self) {
+        self.stop_accept.store(true, Ordering::SeqCst);
+        let _ = self.accept_thread.join();
+        // Existing connections keep being served: their jobs are already
+        // queued (or running), and workers drain the queue below before
+        // exiting. Bound the wait so a wedged client cannot hold shutdown
+        // hostage forever.
+        let drain_deadline = Instant::now() + Duration::from_secs(30);
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0
+            && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        {
+            let mut state = self.shared.state.lock().expect("scheduler lock");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                let handler_shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("bvf-serve-conn".to_string())
+                    .spawn(move || {
+                        let guard = ConnGuard(handler_shared.clone());
+                        handle_connection(&handler_shared, stream);
+                        drop(guard);
+                    });
+                if spawned.is_err() {
+                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // A peer that stalls mid-request (or stops reading its response) gets
+    // disconnected instead of pinning this thread.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(RequestError::TooLarge) => {
+            shared.sink.add(shared.ids.bad_requests, 1);
+            let _ = http::respond(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                &[],
+                "application/json",
+                &protocol::error_body("request exceeds the size limit"),
+            );
+            drain_unread(&mut stream);
+            return;
+        }
+        Err(RequestError::Malformed(why)) => {
+            shared.sink.add(shared.ids.bad_requests, 1);
+            let _ = http::respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                &[],
+                "application/json",
+                &protocol::error_body(why),
+            );
+            drain_unread(&mut stream);
+            return;
+        }
+        Err(RequestError::Io(_)) => return,
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = http::respond(&mut stream, 200, "OK", &[], "text/plain", "ok\n");
+        }
+        ("GET", "/metrics") => {
+            shared.sink.add(shared.ids.scrapes, 1);
+            let body = shared.sink.expose_text();
+            let _ = http::respond(
+                &mut stream,
+                200,
+                "OK",
+                &[],
+                "text/plain; version=0.0.4",
+                &body,
+            );
+        }
+        ("POST", "/run") => handle_run(shared, &mut stream, &request),
+        _ => {
+            shared.sink.add(shared.ids.bad_requests, 1);
+            let _ = http::respond(
+                &mut stream,
+                404,
+                "Not Found",
+                &[],
+                "application/json",
+                &protocol::error_body("no such endpoint (try POST /run or GET /metrics)"),
+            );
+        }
+    }
+}
+
+/// After rejecting a request whose body was never read, consume what the
+/// peer already sent before closing. Closing with unread bytes queued
+/// makes the kernel send RST, which can destroy the rejection response in
+/// the peer's receive buffer before it reads it. Bounded in bytes and
+/// time: this is courtesy, not an obligation to a hostile peer.
+fn drain_unread(stream: &mut TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf = [0u8; 8192];
+    let mut total = 0usize;
+    while let Ok(n) = stream.read(&mut buf) {
+        if n == 0 {
+            break;
+        }
+        total += n;
+        if total > 8 * 1024 * 1024 {
+            break;
+        }
+    }
+}
+
+fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    let req = match protocol::parse_request(&request.body) {
+        Ok(r) => r,
+        Err(message) => {
+            shared.sink.add(shared.ids.bad_requests, 1);
+            let _ = http::respond(
+                stream,
+                400,
+                "Bad Request",
+                &[],
+                "application/json",
+                &protocol::error_body(&message),
+            );
+            return;
+        }
+    };
+    let waiters = match shared.submit(&req) {
+        Ok(w) => w,
+        Err(SubmitError::Full) => {
+            shared.sink.add(shared.ids.rejected, 1);
+            let _ = http::respond(
+                stream,
+                429,
+                "Too Many Requests",
+                &[("Retry-After", "1")],
+                "application/json",
+                &protocol::error_body("queue full, retry shortly"),
+            );
+            return;
+        }
+        Err(SubmitError::ShuttingDown) => {
+            let _ = http::respond(
+                stream,
+                503,
+                "Service Unavailable",
+                &[],
+                "application/json",
+                &protocol::error_body("server is shutting down"),
+            );
+            return;
+        }
+    };
+    shared.sink.add(shared.ids.requests, 1);
+    let isa_mask = req.isa_mask();
+    let Ok(mut out) = ChunkedWriter::begin(stream, 200, "OK", "application/x-ndjson") else {
+        return;
+    };
+    if out
+        .line(&protocol::accepted_line(req.apps.len(), isa_mask))
+        .is_err()
+    {
+        return;
+    }
+    let mut failed = 0usize;
+    for (app, waiter) in waiters {
+        let Waiter::Flight(slot) = waiter;
+        let line = match slot.wait(FLIGHT_TIMEOUT) {
+            Some(Ok(summary)) => protocol::app_line(&app, &summary),
+            Some(Err(error)) => {
+                failed += 1;
+                protocol::failure_line(app.code, &error)
+            }
+            None => {
+                failed += 1;
+                protocol::failure_line(app.code, "timed out waiting for the result")
+            }
+        };
+        if out.line(&line).is_err() {
+            // The client is gone; its jobs complete (and retire their
+            // flights) regardless.
+            return;
+        }
+    }
+    let _ = out.line(&protocol::done_line(req.apps.len(), failed));
+    let _ = out.finish();
+}

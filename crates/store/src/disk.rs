@@ -12,10 +12,13 @@
 //! the read path — missing file, bad magic, foreign format version, key
 //! mismatch (an FNV collision or a renamed file), length mismatch, checksum
 //! mismatch — is a **miss**, never an error: the store may only ever make a
-//! run faster, it must not be able to fail or poison one. Writes are
-//! atomic: the entry is written to a temporary sibling and `rename`d into
-//! place, so a crashed or concurrent writer can never leave a half-written
-//! entry where a reader finds it.
+//! run faster, it must not be able to fail or poison one. A corrupt entry
+//! is additionally **quarantined** (removed) so a long-running warm server
+//! does not re-read and re-checksum the same bad bytes on every identical
+//! request until the next save happens to overwrite them; subsequent loads
+//! are then plain misses. Writes are atomic: the entry is written to a
+//! temporary sibling and `rename`d into place, so a crashed or concurrent
+//! writer can never leave a half-written entry where a reader finds it.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,6 +47,11 @@ pub struct StoreStats {
     /// Loads that found an entry but rejected it (bad header, checksum,
     /// key echo, or length) — counted as misses too.
     pub corrupt: u64,
+    /// Corrupt entries removed from disk so they are not re-read and
+    /// re-checksummed on every subsequent identical request. At most
+    /// `corrupt`; smaller only when a removal itself failed (e.g. a
+    /// read-only store directory).
+    pub quarantined: u64,
     /// Entries written.
     pub writes: u64,
 }
@@ -56,6 +64,7 @@ pub struct DiskStore {
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
+    quarantined: AtomicU64,
     writes: AtomicU64,
 }
 
@@ -69,6 +78,7 @@ impl DiskStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         })
     }
@@ -104,6 +114,15 @@ impl DiskStore {
             None => {
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                // Quarantine: a corrupt entry that stays on disk would be
+                // re-read and re-checksummed by every future load of this
+                // key (a warm server retries identical requests forever);
+                // removing it turns those into cheap plain misses, and the
+                // next save rebuilds the entry atomically anyway. A failed
+                // removal (read-only store) degrades to the old behavior.
+                if std::fs::remove_file(&path).is_ok() {
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
                 None
             }
         }
@@ -160,6 +179,7 @@ impl DiskStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
         }
     }
@@ -219,6 +239,37 @@ mod tests {
         assert_eq!(s.load(3), None);
 
         assert_eq!(s.stats().corrupt, 3);
+        assert_eq!(
+            s.stats().quarantined,
+            3,
+            "each corrupt load removes the entry"
+        );
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined() {
+        let s = temp_store("quarantine");
+        s.save(5, b"payload").expect("save");
+        let path = s.entry_path(5);
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        assert_eq!(s.load(5), None, "corrupt entry is a miss");
+        assert!(!path.exists(), "corrupt entry is removed from disk");
+        let st = s.stats();
+        assert_eq!((st.corrupt, st.quarantined), (1, 1));
+
+        // The next load of the same key is a plain miss: nothing left to
+        // read, re-checksum, or count as corrupt again.
+        assert_eq!(s.load(5), None);
+        let st = s.stats();
+        assert_eq!((st.corrupt, st.quarantined, st.misses), (1, 1, 2));
+
+        // A fresh save repopulates the slot as usual.
+        s.save(5, b"payload").expect("save");
+        assert_eq!(s.load(5).as_deref(), Some(&b"payload"[..]));
     }
 
     #[test]
